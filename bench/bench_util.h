@@ -1,0 +1,158 @@
+// Shared helpers for the table-regeneration harnesses: minimal flag parsing
+// and the method-comparison runner used by Table I and Table III.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bump/assigner.h"
+#include "core/reward.h"
+#include "rl/planner.h"
+#include "sa/tap25d.h"
+#include "thermal/characterize.h"
+#include "thermal/evaluator.h"
+#include "thermal/grid_solver.h"
+#include "util/timer.h"
+
+namespace rlplan::bench {
+
+/// --name=value integer flag (returns fallback when absent).
+inline long flag_int(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool flag_present(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// One method's result row, scored on the ground-truth solver.
+struct MethodRow {
+  std::string method;
+  double reward = 0.0;
+  double wirelength_mm = 0.0;
+  double temperature_c = 0.0;
+  double runtime_s = 0.0;
+};
+
+struct CompareConfig {
+  std::size_t rl_grid = 20;
+  int rl_epochs = 30;
+  int rl_episodes_per_update = 16;
+  float rl_lr = 1e-3f;
+  thermal::GridDims solver_dims{48, 48};
+  std::uint64_t seed = 1;
+};
+
+/// Runs the paper's four method configurations on one system:
+/// RLPlanner, RLPlanner(RND), TAP-2.5D(grid solver), TAP-2.5D(fast model).
+/// SA budgets are wall-clock matched to the RLPlanner training time, as in
+/// Table I's footnote. All rows are scored with the ground-truth solver.
+inline std::vector<MethodRow> compare_methods(
+    const ChipletSystem& system, const thermal::LayerStack& stack,
+    const CompareConfig& config) {
+  std::vector<MethodRow> rows;
+
+  // Shared characterization (cost reported once; excluded from per-method
+  // runtimes, matching the paper's offline-characterization accounting).
+  thermal::CharacterizationConfig cc;
+  cc.solver.dims = config.solver_dims;
+  thermal::ThermalCharacterizer charac(stack, cc);
+  const thermal::FastThermalModel model = charac.characterize(
+      system.interposer_width(), system.interposer_height());
+  std::fprintf(stderr, "[bench] %s: characterization %.1f s\n",
+               system.name().c_str(), charac.report().total_seconds);
+
+  thermal::GridThermalSolver truth(stack, {.dims = config.solver_dims});
+  const bump::BumpAssigner assigner;
+  const RewardCalculator rc;
+  const auto score = [&](const std::string& name, const Floorplan& fp,
+                         double seconds) {
+    MethodRow row;
+    row.method = name;
+    row.wirelength_mm = assigner.assign(system, fp).total_mm;
+    row.temperature_c = truth.solve(system, fp).max_temp_c;
+    row.reward = rc.reward(row.wirelength_mm, row.temperature_c);
+    row.runtime_s = seconds;
+    return row;
+  };
+
+  double rl_seconds = 0.0;
+  for (const bool use_rnd : {false, true}) {
+    rl::RlPlannerConfig pc;
+    pc.env.grid = config.rl_grid;
+    pc.net.grid = config.rl_grid;
+    pc.epochs = config.rl_epochs;
+    pc.ppo.episodes_per_update = config.rl_episodes_per_update;
+    pc.ppo.adam.lr = config.rl_lr;
+    pc.ppo.use_rnd = use_rnd;
+    pc.solver.dims = config.solver_dims;
+    pc.seed = config.seed + (use_rnd ? 1 : 0);
+    rl::RlPlanner planner(pc);
+    Timer t;
+    const auto result = planner.plan_with_model(system, stack, model);
+    const double secs = t.seconds();
+    if (!use_rnd) rl_seconds = secs;
+    rows.push_back(score(use_rnd ? "RLPlanner(RND)" : "RLPlanner",
+                         *result.best, secs));
+  }
+
+  // SA baselines, wall-clock matched to RLPlanner training time.
+  for (const bool fast : {false, true}) {
+    sa::Tap25dConfig tc;
+    tc.anneal.time_budget_s = rl_seconds;
+    tc.anneal.max_evaluations = 100000000;
+    tc.anneal.cooling = 0.97;
+    tc.anneal.t_final = 1e-5;
+    tc.seed = config.seed + 10;
+    sa::Tap25dPlanner planner(tc);
+    Timer t;
+    if (fast) {
+      thermal::FastModelEvaluator eval(model);
+      const auto result = planner.plan(system, eval, rc, assigner);
+      rows.push_back(
+          score("TAP-2.5D*(Fast Thermal Model)", result.best, t.seconds()));
+    } else {
+      thermal::GridSolverEvaluator eval(stack, {.dims = config.solver_dims});
+      const auto result = planner.plan(system, eval, rc, assigner);
+      rows.push_back(
+          score("TAP-2.5D(GridSolver)", result.best, t.seconds()));
+    }
+  }
+  return rows;
+}
+
+inline void print_rows(const std::string& system_name,
+                       const std::vector<MethodRow>& rows) {
+  std::printf("\n%s\n", system_name.c_str());
+  std::printf("%-30s %10s %15s %16s %11s\n", "Method", "Reward",
+              "Wirelength(mm)", "Temperature(C)", "Runtime(s)");
+  for (const auto& r : rows) {
+    std::printf("%-30s %10.4f %15.0f %16.2f %11.1f\n", r.method.c_str(),
+                r.reward, r.wirelength_mm, r.temperature_c, r.runtime_s);
+  }
+}
+
+}  // namespace rlplan::bench

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the NN/RL substrate (google-benchmark): policy net
+// forward/backward at the bench grid sizes, environment stepping, and one
+// full PPO epoch at miniature scale.
+#include <benchmark/benchmark.h>
+
+#include "rl/env.h"
+#include "rl/policy_net.h"
+#include "rl/ppo.h"
+#include "systems/synthetic.h"
+#include "thermal/evaluator.h"
+
+using namespace rlplan;
+
+namespace {
+
+class NullEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  double max_temperature(const ChipletSystem&, const Floorplan&) override {
+    return 60.0;
+  }
+  long num_evaluations() const override { return 0; }
+  std::string name() const override { return "null"; }
+};
+
+const ChipletSystem& test_system() {
+  static const ChipletSystem sys = [] {
+    systems::SyntheticConfig sc;
+    sc.interposer_w_mm = 40.0;
+    sc.interposer_h_mm = 40.0;
+    sc.min_chiplets = 6;
+    sc.max_chiplets = 6;
+    return systems::SyntheticSystemGenerator(sc).generate(9, "nnbench");
+  }();
+  return sys;
+}
+
+void BM_PolicyForward(benchmark::State& state) {
+  const auto grid = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  rl::PolicyNetConfig config;
+  config.grid = grid;
+  rl::PolicyValueNet net(config, rng);
+  nn::Tensor x({batch, config.channels_in, grid, grid});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x).value[0]);
+  }
+  state.SetLabel("grid " + std::to_string(grid) + " batch " +
+                 std::to_string(batch));
+}
+BENCHMARK(BM_PolicyForward)
+    ->Args({16, 1})
+    ->Args({16, 64})
+    ->Args({24, 1})
+    ->Args({24, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PolicyBackward(benchmark::State& state) {
+  const auto grid = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  rl::PolicyNetConfig config;
+  config.grid = grid;
+  rl::PolicyValueNet net(config, rng);
+  nn::Tensor x({32, config.channels_in, grid, grid});
+  nn::Tensor dlogits({32, grid * grid});
+  nn::Tensor dvalue({32, std::size_t{1}});
+  dlogits.fill(0.01f);
+  dvalue.fill(0.1f);
+  for (auto _ : state) {
+    net.forward(x);
+    net.zero_grad();
+    net.backward(dlogits, dvalue);
+  }
+  state.SetLabel("grid " + std::to_string(grid) + " batch 32 fwd+bwd");
+}
+BENCHMARK(BM_PolicyBackward)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_EnvEpisode(benchmark::State& state) {
+  NullEvaluator eval;
+  rl::FloorplanEnv env(test_system(), eval, RewardCalculator{},
+                       bump::BumpAssigner{}, {.grid = 16});
+  Rng rng(3);
+  for (auto _ : state) {
+    env.reset();
+    while (!env.done()) {
+      const auto& mask = env.action_mask();
+      std::size_t pick = 0;
+      for (std::size_t tries = 0; tries < 1000; ++tries) {
+        const auto a = rng.uniform_int(std::uint64_t{mask.size()});
+        if (mask[a] != 0) {
+          pick = a;
+          break;
+        }
+      }
+      env.step(pick);
+    }
+  }
+}
+BENCHMARK(BM_EnvEpisode)->Unit(benchmark::kMicrosecond);
+
+void BM_PpoTrainEpoch(benchmark::State& state) {
+  NullEvaluator eval;
+  rl::FloorplanEnv env(test_system(), eval, RewardCalculator{},
+                       bump::BumpAssigner{}, {.grid = 16});
+  rl::PpoConfig config;
+  config.episodes_per_update = 8;
+  config.seed = 5;
+  rl::PolicyNetConfig net_config;
+  rl::PpoTrainer trainer(env, net_config, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.train_epoch().steps);
+  }
+}
+BENCHMARK(BM_PpoTrainEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

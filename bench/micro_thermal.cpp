@@ -1,0 +1,113 @@
+// Micro-benchmarks of the thermal substrate (google-benchmark).
+//
+// Covers the cost model behind Table II's speed column: full grid solves at
+// several resolutions, matrix assembly alone, fast-model evaluation, and
+// microbump assignment.
+#include <benchmark/benchmark.h>
+
+#include "bump/assigner.h"
+#include "systems/synthetic.h"
+#include "systems/systems.h"
+#include "thermal/characterize.h"
+#include "thermal/grid_solver.h"
+
+using namespace rlplan;
+
+namespace {
+
+const ChipletSystem& test_system() {
+  static const ChipletSystem sys = [] {
+    systems::SyntheticConfig sc;
+    sc.min_chiplets = 6;
+    sc.max_chiplets = 6;
+    return systems::SyntheticSystemGenerator(sc).generate(42, "bench6");
+  }();
+  return sys;
+}
+
+const Floorplan& test_floorplan() {
+  static const Floorplan fp = [] {
+    Rng rng(7);
+    return systems::random_legal_floorplan(test_system(), rng);
+  }();
+  return fp;
+}
+
+const thermal::LayerStack& stack() {
+  static const thermal::LayerStack s = thermal::LayerStack::default_2p5d();
+  return s;
+}
+
+void BM_GridSolve(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  thermal::GridSolverConfig config{.dims = {g, g}};
+  config.warm_start = false;
+  thermal::GridThermalSolver solver(stack(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.solve(test_system(), test_floorplan()).max_temp_c);
+  }
+  state.SetLabel(std::to_string(g) + "x" + std::to_string(g) + " grid");
+}
+BENCHMARK(BM_GridSolve)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridSolveWarmStart(benchmark::State& state) {
+  thermal::GridThermalSolver solver(stack(), {.dims = {48, 48}});
+  solver.solve(test_system(), test_floorplan());  // prime the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.solve(test_system(), test_floorplan()).max_temp_c);
+  }
+}
+BENCHMARK(BM_GridSolveWarmStart)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixAssembly(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  thermal::ThermalGridModel model(stack(), test_system(), {g, g});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.build_conductance(test_floorplan()).nnz());
+  }
+}
+BENCHMARK(BM_MatrixAssembly)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_FastModelEvaluate(benchmark::State& state) {
+  static const thermal::FastThermalModel model = [] {
+    thermal::CharacterizationConfig cc;
+    cc.solver.dims = {32, 32};
+    cc.auto_axis_points = 6;
+    thermal::ThermalCharacterizer charac(stack(), cc);
+    return charac.characterize(50.0, 50.0);
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.evaluate(test_system(), test_floorplan()).max_temp_c);
+  }
+}
+BENCHMARK(BM_FastModelEvaluate)->Unit(benchmark::kMicrosecond);
+
+void BM_BumpAssignment(benchmark::State& state) {
+  const bump::BumpAssigner assigner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assigner.assign(test_system(), test_floorplan()).total_mm);
+  }
+}
+BENCHMARK(BM_BumpAssignment)->Unit(benchmark::kMicrosecond);
+
+void BM_BumpAssignmentMultiGpu(benchmark::State& state) {
+  static const ChipletSystem sys = systems::make_multi_gpu_system();
+  static const Floorplan fp = [] {
+    Rng rng(3);
+    return systems::random_legal_floorplan(sys, rng);
+  }();
+  const bump::BumpAssigner assigner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.assign(sys, fp).total_mm);
+  }
+}
+BENCHMARK(BM_BumpAssignmentMultiGpu)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

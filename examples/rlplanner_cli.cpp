@@ -1,0 +1,136 @@
+// Command-line floorplanner: read a system file, optimize with a chosen
+// method, write the floorplan file, and print ground-truth scores.
+//
+//   ./build/examples/rlplanner_cli <system-file> [options]
+//     --method=rl|rl-rnd|sa-fast|sa-solver|first-fit   (default rl)
+//     --epochs=N         RL training epochs            (default 30)
+//     --grid=G           RL action grid                (default 16)
+//     --budget=SECONDS   SA wall-clock budget          (default 30)
+//     --out=FILE         floorplan output path         (default plan.fp)
+//     --seed=S
+//
+// With no arguments, runs on a built-in demo system so the tool is
+// self-contained. Example system file (see src/systems/io.h):
+//
+//   system demo
+//   interposer 30 30
+//   chiplet cpu 9 9 30
+//   chiplet gpu 10 8 35
+//   net cpu gpu 256
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "rl/planner.h"
+#include "sa/tap25d.h"
+#include "systems/io.h"
+#include "thermal/characterize.h"
+#include "util/timer.h"
+
+using namespace rlplan;
+
+namespace {
+
+const char* kDemoSystem = R"(
+system demo
+interposer 30 30
+chiplet cpu 9 9 30
+chiplet gpu 10 8 35
+chiplet dram 7 10 6
+chiplet io 5 5 4
+net cpu gpu 256
+net cpu dram 128
+net gpu dram 128
+net cpu io 64
+)";
+
+std::string option(int argc, char** argv, const char* name,
+                   const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Load the problem.
+  ChipletSystem system = [&] {
+    if (argc > 1 && argv[1][0] != '-') {
+      return systems::read_system_file(argv[1]);
+    }
+    std::printf("no system file given; using the built-in demo system\n");
+    std::istringstream demo(kDemoSystem);
+    return systems::read_system(demo);
+  }();
+  std::printf("system '%s': %zu chiplets, %.0f W, %ld wires\n",
+              system.name().c_str(), system.num_chiplets(),
+              system.total_power(), system.total_wires());
+
+  const std::string method = option(argc, argv, "method", "rl");
+  const int epochs = std::stoi(option(argc, argv, "epochs", "30"));
+  const auto grid =
+      static_cast<std::size_t>(std::stoi(option(argc, argv, "grid", "16")));
+  const double budget = std::stod(option(argc, argv, "budget", "30"));
+  const std::string out = option(argc, argv, "out", "plan.fp");
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoll(option(argc, argv, "seed", "1")));
+
+  const auto stack = thermal::LayerStack::default_2p5d();
+  Timer timer;
+  Floorplan best(system);
+
+  if (method == "first-fit") {
+    best = rl::first_fit_floorplan(system, {.grid = 64});
+  } else if (method == "rl" || method == "rl-rnd") {
+    rl::RlPlannerConfig config;
+    config.env.grid = grid;
+    config.net.grid = grid;
+    config.epochs = epochs;
+    config.ppo.adam.lr = 1e-3f;
+    config.ppo.use_rnd = method == "rl-rnd";
+    config.seed = seed;
+    rl::RlPlanner planner(config);
+    const auto result = planner.plan(system, stack);
+    best = *result.best;
+  } else if (method == "sa-fast" || method == "sa-solver") {
+    sa::Tap25dConfig config;
+    config.anneal.time_budget_s = budget;
+    config.anneal.max_evaluations = 100000000;
+    config.anneal.cooling = 0.97;
+    config.seed = seed;
+    sa::Tap25dPlanner planner(config);
+    if (method == "sa-fast") {
+      thermal::CharacterizationConfig cc;
+      thermal::ThermalCharacterizer charac(stack, cc);
+      thermal::FastModelEvaluator eval(charac.characterize(
+          system.interposer_width(), system.interposer_height()));
+      best = planner.plan(system, eval).best;
+    } else {
+      thermal::GridSolverEvaluator eval(stack, {});
+      best = planner.plan(system, eval).best;
+    }
+  } else {
+    std::fprintf(stderr, "unknown --method=%s\n", method.c_str());
+    return 1;
+  }
+
+  // Ground-truth scoring + output.
+  thermal::GridThermalSolver truth(stack, {});
+  const bump::BumpAssigner assigner;
+  const RewardCalculator rc;
+  const double wl = assigner.assign(system, best).total_mm;
+  const double t = truth.solve(system, best).max_temp_c;
+  std::printf("\nmethod %-10s %.1f s | wirelength %.0f mm | peak %.2f C | "
+              "reward %.4f\n",
+              method.c_str(), timer.seconds(), wl, t, rc.reward(wl, t));
+
+  systems::write_floorplan_file(best, out);
+  std::printf("floorplan written to %s\n", out.c_str());
+  return 0;
+}

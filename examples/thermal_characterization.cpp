@@ -1,0 +1,89 @@
+// Characterizing and inspecting a fast thermal model (the paper's Section
+// II-C workflow), including table caching to disk.
+//
+//   ./build/examples/thermal_characterization [interposer_mm]
+//
+// Prints the characterized self-resistance and mutual-resistance tables,
+// validates the model against the ground-truth solver on a sample system,
+// and demonstrates save/load round-tripping (characterize once, reuse
+// everywhere — exactly how bench/table1 shares one model across methods).
+#include <cstdio>
+#include <cstdlib>
+
+#include "systems/synthetic.h"
+#include "thermal/characterize.h"
+#include "thermal/grid_solver.h"
+#include "util/timer.h"
+
+using namespace rlplan;
+
+int main(int argc, char** argv) {
+  const double size = argc > 1 ? std::atof(argv[1]) : 50.0;
+  const auto stack = thermal::LayerStack::default_2p5d();
+
+  thermal::CharacterizationConfig config;
+  config.solver.dims = {48, 48};
+  thermal::ThermalCharacterizer charac(stack, config);
+
+  std::printf("characterizing a %.0fx%.0f mm interposer "
+              "(progress dots = probe solves)\n", size, size);
+  Timer timer;
+  const auto model = charac.characterize(
+      size, size, [](std::size_t done, std::size_t total) {
+        if (done % 10 == 0 || done == total) {
+          std::printf(".");
+          std::fflush(stdout);
+        }
+      });
+  std::printf("\n%zu self + %zu mutual + %zu position solves in %.1f s\n\n",
+              charac.report().self_solves, charac.report().mutual_solves,
+              charac.report().position_solves, timer.seconds());
+
+  // Self-thermal resistance: square dies.
+  std::printf("self-thermal resistance R_self(s, s) [K/W]:\n");
+  for (double s : {3.0, 6.0, 10.0, 15.0, 20.0, 28.0}) {
+    std::printf("  %4.0f mm die: %7.4f\n", s, model.self_table().lookup(s, s));
+  }
+
+  // Mutual-thermal resistance vs distance.
+  std::printf("\nmutual-thermal resistance R_mutual(d) [K/W]:\n");
+  for (double d : {2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0}) {
+    std::printf("  %4.0f mm: %7.4f\n", d, model.mutual_table().lookup(d));
+  }
+  std::printf("\npackage-uniform floor: %.4f K/W (the convective sink limit "
+              "every die shares)\n", model.uniform_floor());
+
+  // Validate against ground truth on one random system.
+  systems::SyntheticConfig sc;
+  sc.interposer_w_mm = size;
+  sc.interposer_h_mm = size;
+  const auto sys = systems::SyntheticSystemGenerator(sc).generate(3, "demo");
+  Rng rng(4);
+  const auto fp = systems::random_legal_floorplan(sys, rng);
+  thermal::GridThermalSolver solver(stack, {.dims = {48, 48}});
+  Timer t_slow;
+  const auto truth = solver.solve(sys, fp);
+  const double slow_s = t_slow.seconds();
+  Timer t_fast;
+  const auto fast = model.evaluate(sys, fp);
+  const double fast_s = t_fast.seconds();
+
+  std::printf("\nvalidation on a random %zu-die system:\n",
+              sys.num_chiplets());
+  std::printf("  %-6s %12s %12s\n", "die", "truth (C)", "fast (C)");
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    std::printf("  %-6s %12.2f %12.2f\n", sys.chiplet(i).name.c_str(),
+                truth.chiplet_temp_c[i], fast.chiplet_temp_c[i]);
+  }
+  std::printf("  peak: truth %.2f C (%.0f ms), fast %.2f C (%.3f ms) -> "
+              "%.0fx speedup\n", truth.max_temp_c, slow_s * 1e3,
+              fast.max_temp_c, fast_s * 1e3, slow_s / fast_s);
+
+  // Cache the model for reuse.
+  const char* path = "fast_model_cache.txt";
+  model.save(path);
+  const auto reloaded = thermal::FastThermalModel::load(path);
+  std::printf("\nmodel saved to %s and reloaded (peak on reload: %.2f C)\n",
+              path, reloaded.evaluate(sys, fp).max_temp_c);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Microbump candidate sites on a chiplet.
+//
+// Inter-chiplet wires terminate on microbumps in a band along the die
+// periphery (interior bumps carry power/ground and are not available for
+// signals). Sites are generated ring by ring inward from the die edge at a
+// fixed pitch; each site accepts a bounded number of signal wires
+// (representing a small cluster of physical bumps at the site).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace rlplan::bump {
+
+struct BumpGridConfig {
+  double pitch_mm = 1.0;     ///< spacing between adjacent sites along a ring
+  int rings = 2;             ///< number of peripheral rings
+  double edge_margin_mm = 0.25;  ///< inset of the outermost ring from the edge
+  int wires_per_site = 16;   ///< signal-wire capacity of one site
+};
+
+/// One candidate bump site with remaining capacity.
+struct BumpSite {
+  Point position;  ///< absolute interposer coordinates, mm
+  int capacity = 0;
+};
+
+/// Generates peripheral bump sites for a placed die footprint. Sites are
+/// ordered ring-outermost-first, counter-clockwise from the lower-left
+/// corner; order is deterministic.
+std::vector<BumpSite> make_peripheral_sites(const Rect& footprint,
+                                            const BumpGridConfig& config);
+
+/// Total signal capacity of a site list.
+long total_capacity(const std::vector<BumpSite>& sites);
+
+}  // namespace rlplan::bump

@@ -1,0 +1,97 @@
+#include "core/chiplet.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rlplan {
+
+ChipletSystem::ChipletSystem(std::string name, double interposer_width,
+                             double interposer_height,
+                             std::vector<Chiplet> chiplets,
+                             std::vector<InterChipletNet> nets)
+    : name_(std::move(name)),
+      interposer_width_(interposer_width),
+      interposer_height_(interposer_height),
+      chiplets_(std::move(chiplets)),
+      nets_(std::move(nets)) {}
+
+double ChipletSystem::total_power() const {
+  double p = 0.0;
+  for (const auto& c : chiplets_) p += c.power;
+  return p;
+}
+
+double ChipletSystem::total_chiplet_area() const {
+  double a = 0.0;
+  for (const auto& c : chiplets_) a += c.area();
+  return a;
+}
+
+double ChipletSystem::utilization() const {
+  const double interposer_area = interposer_width_ * interposer_height_;
+  return interposer_area > 0.0 ? total_chiplet_area() / interposer_area : 0.0;
+}
+
+long ChipletSystem::total_wires() const {
+  long w = 0;
+  for (const auto& net : nets_) w += net.wires;
+  return w;
+}
+
+void ChipletSystem::validate() const {
+  if (interposer_width_ <= 0.0 || interposer_height_ <= 0.0) {
+    throw std::invalid_argument("ChipletSystem '" + name_ +
+                                "': interposer dimensions must be positive");
+  }
+  if (chiplets_.empty()) {
+    throw std::invalid_argument("ChipletSystem '" + name_ +
+                                "': no chiplets");
+  }
+  for (const auto& c : chiplets_) {
+    if (c.width <= 0.0 || c.height <= 0.0) {
+      throw std::invalid_argument("Chiplet '" + c.name +
+                                  "': dimensions must be positive");
+    }
+    if (c.power < 0.0) {
+      throw std::invalid_argument("Chiplet '" + c.name +
+                                  "': power must be non-negative");
+    }
+    const double long_side = std::max(c.width, c.height);
+    const double short_side = std::min(c.width, c.height);
+    if (long_side > std::max(interposer_width_, interposer_height_) ||
+        short_side > std::min(interposer_width_, interposer_height_)) {
+      throw std::invalid_argument("Chiplet '" + c.name +
+                                  "' does not fit on the interposer");
+    }
+  }
+  for (const auto& net : nets_) {
+    if (net.a >= chiplets_.size() || net.b >= chiplets_.size()) {
+      throw std::invalid_argument("Net endpoint out of range in system '" +
+                                  name_ + "'");
+    }
+    if (net.a == net.b) {
+      throw std::invalid_argument("Self-loop net on chiplet " +
+                                  chiplets_[net.a].name);
+    }
+    if (net.wires <= 0) {
+      throw std::invalid_argument("Net with non-positive wire count");
+    }
+  }
+  if (utilization() > 1.0) {
+    throw std::invalid_argument("ChipletSystem '" + name_ +
+                                "': chiplet area exceeds interposer area");
+  }
+}
+
+std::vector<std::size_t> ChipletSystem::placement_order_by_area() const {
+  std::vector<std::size_t> order(chiplets_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t i, std::size_t j) {
+                     return chiplets_[i].area() > chiplets_[j].area();
+                   });
+  return order;
+}
+
+}  // namespace rlplan

@@ -1,0 +1,79 @@
+// Chiplet and chiplet-system model.
+//
+// A ChipletSystem is the *problem instance* given to any floorplanner in this
+// library: the interposer extent, the set of chiplets (dies) with their
+// physical size and power, and the inter-chiplet netlist. It is immutable
+// during optimization; a Floorplan (core/floorplan.h) holds the mutable
+// placement state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/geometry.h"
+#include "core/netlist.h"
+
+namespace rlplan {
+
+/// One die in a 2.5D system. Dimensions in mm, power in W (uniform density).
+struct Chiplet {
+  std::string name;
+  double width = 0.0;   ///< mm, unrotated
+  double height = 0.0;  ///< mm, unrotated
+  double power = 0.0;   ///< W, total dissipated power
+
+  double area() const { return width * height; }
+  double power_density() const {  ///< W/mm^2
+    return area() > 0.0 ? power / area() : 0.0;
+  }
+};
+
+/// Immutable problem instance: interposer + chiplets + netlist.
+class ChipletSystem {
+ public:
+  ChipletSystem() = default;
+  ChipletSystem(std::string name, double interposer_width,
+                double interposer_height, std::vector<Chiplet> chiplets,
+                std::vector<InterChipletNet> nets);
+
+  const std::string& name() const { return name_; }
+  double interposer_width() const { return interposer_width_; }
+  double interposer_height() const { return interposer_height_; }
+  Rect interposer_rect() const {
+    return {0.0, 0.0, interposer_width_, interposer_height_};
+  }
+
+  std::size_t num_chiplets() const { return chiplets_.size(); }
+  const Chiplet& chiplet(std::size_t i) const { return chiplets_.at(i); }
+  const std::vector<Chiplet>& chiplets() const { return chiplets_; }
+
+  const std::vector<InterChipletNet>& nets() const { return nets_; }
+
+  /// Sum of all chiplet powers (W).
+  double total_power() const;
+  /// Sum of all chiplet areas (mm^2).
+  double total_chiplet_area() const;
+  /// total_chiplet_area / interposer area — a packing-difficulty measure.
+  double utilization() const;
+  /// Total number of wires across all inter-chiplet nets.
+  long total_wires() const;
+
+  /// Throws std::invalid_argument if the instance is malformed: non-positive
+  /// dimensions/interposer, net endpoints out of range or self-loops, any
+  /// chiplet larger than the interposer, or utilization > 1.
+  void validate() const;
+
+  /// Indices sorted by decreasing area — the canonical RL placement order
+  /// (large chiplets first constrains the search usefully).
+  std::vector<std::size_t> placement_order_by_area() const;
+
+ private:
+  std::string name_;
+  double interposer_width_ = 0.0;
+  double interposer_height_ = 0.0;
+  std::vector<Chiplet> chiplets_;
+  std::vector<InterChipletNet> nets_;
+};
+
+}  // namespace rlplan

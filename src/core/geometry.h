@@ -1,0 +1,95 @@
+// 2D geometry primitives for floorplanning.
+//
+// All linear dimensions are millimetres; the coordinate origin is the
+// lower-left corner of the interposer, x to the right, y up. Rectangles are
+// anchored at their lower-left corner (HotSpot floorplan convention).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlplan {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  bool operator==(const Point& o) const = default;
+};
+
+/// Euclidean distance between two points.
+inline double euclidean(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Manhattan (L1) distance — the routing metric on an interposer.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned rectangle anchored at lower-left corner (x, y).
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  double area() const { return w * h; }
+  double right() const { return x + w; }
+  double top() const { return y + h; }
+  Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+  Point origin() const { return {x, y}; }
+
+  /// Closed-boundary point containment.
+  bool contains(const Point& p) const {
+    return p.x >= x && p.x <= right() && p.y >= y && p.y <= top();
+  }
+
+  /// True when `inner` lies entirely inside *this (boundaries may touch).
+  bool contains(const Rect& inner) const {
+    return inner.x >= x && inner.y >= y && inner.right() <= right() &&
+           inner.top() <= top();
+  }
+
+  /// Strict interior overlap: rectangles that merely share an edge or corner
+  /// do NOT overlap (abutting chiplets are legal).
+  bool overlaps(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.top() && o.y < top();
+  }
+
+  /// Area of the intersection (0 when disjoint or merely touching).
+  double intersection_area(const Rect& o) const {
+    const double ix = std::max(0.0, std::min(right(), o.right()) - std::max(x, o.x));
+    const double iy = std::max(0.0, std::min(top(), o.top()) - std::max(y, o.y));
+    return ix * iy;
+  }
+
+  /// Rectangle expanded by `margin` on every side (negative shrinks).
+  Rect inflated(double margin) const {
+    return {x - margin, y - margin, w + 2.0 * margin, h + 2.0 * margin};
+  }
+
+  bool operator==(const Rect& o) const = default;
+};
+
+/// Minimum gap between two rectangles' boundaries along axes; 0 when they
+/// touch or overlap. Used for spacing-rule checks.
+inline double rect_gap(const Rect& a, const Rect& b) {
+  const double dx =
+      std::max({a.x - b.right(), b.x - a.right(), 0.0});
+  const double dy = std::max({a.y - b.top(), b.y - a.top(), 0.0});
+  // Separated along one axis only -> gap is that axis distance; separated
+  // diagonally -> Euclidean corner distance.
+  if (dx > 0.0 && dy > 0.0) return std::hypot(dx, dy);
+  return std::max(dx, dy);
+}
+
+/// Center-to-center Euclidean distance between two rectangles.
+inline double center_distance(const Rect& a, const Rect& b) {
+  return euclidean(a.center(), b.center());
+}
+
+}  // namespace rlplan

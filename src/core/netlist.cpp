@@ -1,0 +1,64 @@
+#include "core/netlist.h"
+
+#include <queue>
+
+namespace rlplan {
+
+std::vector<std::vector<long>> build_adjacency(
+    std::size_t num_chiplets, const std::vector<InterChipletNet>& nets) {
+  std::vector<std::vector<long>> adj(num_chiplets,
+                                     std::vector<long>(num_chiplets, 0));
+  for (const auto& net : nets) {
+    if (net.a >= num_chiplets || net.b >= num_chiplets || net.a == net.b) {
+      continue;  // malformed nets are rejected by ChipletSystem::validate()
+    }
+    adj[net.a][net.b] += net.wires;
+    adj[net.b][net.a] += net.wires;
+  }
+  return adj;
+}
+
+std::vector<long> wire_degrees(std::size_t num_chiplets,
+                               const std::vector<InterChipletNet>& nets) {
+  std::vector<long> deg(num_chiplets, 0);
+  for (const auto& net : nets) {
+    if (net.a >= num_chiplets || net.b >= num_chiplets || net.a == net.b) {
+      continue;
+    }
+    deg[net.a] += net.wires;
+    deg[net.b] += net.wires;
+  }
+  return deg;
+}
+
+bool is_connected(std::size_t num_chiplets,
+                  const std::vector<InterChipletNet>& nets) {
+  if (num_chiplets <= 1) return true;
+  std::vector<std::vector<std::size_t>> neighbors(num_chiplets);
+  for (const auto& net : nets) {
+    if (net.a >= num_chiplets || net.b >= num_chiplets || net.a == net.b) {
+      continue;
+    }
+    neighbors[net.a].push_back(net.b);
+    neighbors[net.b].push_back(net.a);
+  }
+  std::vector<bool> seen(num_chiplets, false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v : neighbors[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == num_chiplets;
+}
+
+}  // namespace rlplan

@@ -1,0 +1,38 @@
+// Inter-chiplet connectivity.
+//
+// In a 2.5D system, chiplets communicate through interposer wires terminated
+// by microbumps on each die. A net here is a (chiplet, chiplet, wire-count)
+// triple: `wires` parallel point-to-point connections (e.g. a 768-bit
+// GPU-to-switch link). Microbump assignment (src/bump) later decides *where*
+// on each die boundary those wires land.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlplan {
+
+/// A bundle of parallel wires between two chiplets.
+struct InterChipletNet {
+  std::size_t a = 0;  ///< endpoint chiplet index
+  std::size_t b = 0;  ///< endpoint chiplet index (must differ from a)
+  int wires = 1;      ///< number of parallel wires in the bundle
+
+  bool operator==(const InterChipletNet& o) const = default;
+};
+
+/// Symmetric adjacency: total wire count between every chiplet pair.
+/// adjacency[i][j] == adjacency[j][i]; diagonal is zero.
+std::vector<std::vector<long>> build_adjacency(
+    std::size_t num_chiplets, const std::vector<InterChipletNet>& nets);
+
+/// Per-chiplet total connected wires (degree weighted by wire count).
+std::vector<long> wire_degrees(std::size_t num_chiplets,
+                               const std::vector<InterChipletNet>& nets);
+
+/// True when every chiplet is reachable from chiplet 0 through nets.
+/// (Disconnected systems are legal but often indicate a malformed instance.)
+bool is_connected(std::size_t num_chiplets,
+                  const std::vector<InterChipletNet>& nets);
+
+}  // namespace rlplan

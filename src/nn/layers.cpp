@@ -1,0 +1,291 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlplan::nn {
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->grad.fill(0.0f);
+}
+
+float kaiming_bound(std::size_t fan_in) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+}
+
+namespace {
+void init_uniform(Tensor& t, float bound, Rng& rng) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               std::string name)
+    : in_(in_features),
+      out_(out_features),
+      weight_(name + ".weight", {out_features, in_features}),
+      bias_(name + ".bias", {out_features}) {
+  init_uniform(weight_.value, kaiming_bound(in_), rng);
+  init_uniform(bias_.value, 1.0f / std::sqrt(static_cast<float>(in_)), rng);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Linear::forward: expected [batch, " +
+                                std::to_string(in_) + "]");
+  }
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y({batch, out_});
+  const auto xd = x.data();
+  const auto wd = weight_.value.data();
+  const auto bd = bias_.value.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xr = xd.data() + b * in_;
+    float* yr = y.data().data() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wr = wd.data() + o * in_;
+      float acc = bd[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += wr[i] * xr[i];
+      yr[o] = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_input_.dim(0);
+  if (grad_out.rank() != 2 || grad_out.dim(0) != batch ||
+      grad_out.dim(1) != out_) {
+    throw std::invalid_argument("Linear::backward: grad shape mismatch");
+  }
+  Tensor dx({batch, in_});
+  const auto xd = cached_input_.data();
+  const auto gd = grad_out.data();
+  const auto wd = weight_.value.data();
+  auto dwd = weight_.grad.data();
+  auto dbd = bias_.grad.data();
+  auto dxd = dx.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xr = xd.data() + b * in_;
+    const float* gr = gd.data() + b * out_;
+    float* dxr = dxd.data() + b * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gr[o];
+      if (g == 0.0f) continue;
+      const float* wr = wd.data() + o * in_;
+      float* dwr = dwd.data() + o * in_;
+      dbd[o] += g;
+      for (std::size_t i = 0; i < in_; ++i) {
+        dwr[i] += g * xr[i];
+        dxr[i] += g * wr[i];
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               Rng& rng, std::string name)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(name + ".weight", {out_channels, in_channels, kernel, kernel}),
+      bias_(name + ".bias", {out_channels}) {
+  if (kernel == 0 || stride == 0) {
+    throw std::invalid_argument("Conv2d: kernel and stride must be >= 1");
+  }
+  const std::size_t fan_in = in_channels * kernel * kernel;
+  init_uniform(weight_.value, kaiming_bound(fan_in), rng);
+  init_uniform(bias_.value, 1.0f / std::sqrt(static_cast<float>(fan_in)), rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2d::forward: expected [batch, " +
+                                std::to_string(in_ch_) + ", H, W]");
+  }
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t ho = out_size(h);
+  const std::size_t wo = out_size(w);
+  Tensor y({batch, out_ch_, ho, wo});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float bias = bias_.value[oc];
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          float acc = bias;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += weight_.value.at(oc, ic, ky, kx) *
+                       x.at(b, ic, static_cast<std::size_t>(iy),
+                            static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          y.at(b, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t ho = out_size(h);
+  const std::size_t wo = out_size(w);
+  if (grad_out.rank() != 4 || grad_out.dim(0) != batch ||
+      grad_out.dim(1) != out_ch_ || grad_out.dim(2) != ho ||
+      grad_out.dim(3) != wo) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+  Tensor dx({batch, in_ch_, h, w});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = grad_out.at(b, oc, oy, ox);
+          if (g == 0.0f) continue;
+          bias_.grad[oc] += g;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const auto uiy = static_cast<std::size_t>(iy);
+                const auto uix = static_cast<std::size_t>(ix);
+                weight_.grad.at(oc, ic, ky, kx) += g * x.at(b, ic, uiy, uix);
+                dx.at(b, ic, uiy, uix) +=
+                    g * weight_.value.at(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ activations --
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] < 0.0f) y[i] = 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (!grad_out.same_shape(cached_input_)) {
+    throw std::invalid_argument("ReLU::backward: grad shape mismatch");
+  }
+  Tensor dx = grad_out;
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) dx[i] = 0.0f;
+  }
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (!grad_out.same_shape(cached_output_)) {
+    throw std::invalid_argument("Tanh::backward: grad shape mismatch");
+  }
+  Tensor dx = grad_out;
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    const float y = cached_output_[i];
+    dx[i] *= 1.0f - y * y;
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Flatten --
+
+Tensor Flatten::forward(const Tensor& x) {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten::forward: rank must be >= 2");
+  }
+  cached_shape_ = x.shape();
+  Tensor y = x;
+  y.reshape({x.dim(0), x.numel() / x.dim(0)});
+  return y;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  dx.reshape(cached_shape_);
+  return dx;
+}
+
+// ------------------------------------------------------------- Sequential --
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace rlplan::nn

@@ -1,0 +1,137 @@
+// Neural network layers with explicit forward/backward passes.
+//
+// No autograd: each layer caches what its backward pass needs and exposes
+// gradient accumulation into Parameter::grad. This keeps the training stack
+// small, deterministic, and finite-difference checkable (tests/nn_grad_test).
+//
+// Convention: batch-major tensors. Linear: [batch, features];
+// Conv2d: [batch, channels, height, width].
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace rlplan::nn {
+
+/// Trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(std::string n, std::vector<std::size_t> shape)
+      : name(std::move(n)), value(shape), grad(shape) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes outputs and caches activations for backward().
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
+  /// Must be called after forward() with a matching batch.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  void zero_grad();
+};
+
+/// y = x W^T + b, W: [out, in].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+         std::string name = "linear");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_, out_;
+  Parameter weight_, bias_;
+  Tensor cached_input_;
+};
+
+/// 2D convolution, square kernel, symmetric zero padding.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t padding,
+         Rng& rng, std::string name = "conv");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+
+  std::size_t out_size(std::size_t in_size) const {
+    return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  std::size_t in_ch_, out_ch_, kernel_, stride_, padding_;
+  Parameter weight_, bias_;  // weight: [out_ch, in_ch, k, k]
+  Tensor cached_input_;
+};
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Collapses [batch, ...] to [batch, features]. Shape-only; no copy math.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Owning chain of layers applied in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for inline composition.
+  Sequential& add(std::unique_ptr<Module> layer);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+/// Kaiming-uniform initialization bound for a given fan-in.
+float kaiming_bound(std::size_t fan_in);
+
+}  // namespace rlplan::nn

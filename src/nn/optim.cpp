@@ -1,0 +1,57 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace rlplan::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float b1t = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float b2t = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    auto val = p.value.data();
+    auto grad = p.grad.data();
+    auto m = m_[k].data();
+    auto v = v_[k].data();
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      float g = grad[i];
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m[i] / b1t;
+      const float v_hat = v[i] / b2t;
+      float update = m_hat / (std::sqrt(v_hat) + config_.eps);
+      if (config_.weight_decay > 0.0f) {
+        update += config_.weight_decay * val[i];
+      }
+      val[i] -= config_.lr * update;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->grad.fill(0.0f);
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  double sq = 0.0;
+  for (const Parameter* p : params) sq += p->grad.squared_norm();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.scale_(scale);
+  }
+  return norm;
+}
+
+}  // namespace rlplan::nn

@@ -1,0 +1,44 @@
+// Optimizers and gradient utilities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace rlplan::nn {
+
+struct AdamConfig {
+  float lr = 3e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  ///< decoupled (AdamW-style) when > 0
+};
+
+/// Adam over a fixed parameter set (Kingma & Ba, 2015). Parameter pointers
+/// must stay valid for the optimizer's lifetime.
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  /// Applies one update from the accumulated gradients. Does NOT zero grads.
+  void step();
+
+  void zero_grad();
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  long step_count() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+/// Rescales all grads so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace rlplan::nn

@@ -1,0 +1,74 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace rlplan::nn {
+
+namespace {
+constexpr char kMagic[] = "RLPNNv1\n";
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic) - 1);
+  write_u64(os, params.size());
+  for (const Parameter* p : params) {
+    write_u64(os, p->name.size());
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u64(os, p->value.rank());
+    for (std::size_t d : p->value.shape()) write_u64(os, d);
+    os.write(reinterpret_cast<const char*>(p->value.data().data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+  char magic[sizeof(kMagic) - 1];
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, sizeof(magic)) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const std::uint64_t count = read_u64(is);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const std::uint64_t name_len = read_u64(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != p->name) {
+      throw std::runtime_error("load_parameters: expected parameter '" +
+                               p->name + "', found '" + name + "'");
+    }
+    const std::uint64_t rank = read_u64(is);
+    std::vector<std::size_t> shape(rank);
+    for (auto& d : shape) d = read_u64(is);
+    if (shape != p->value.shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch for '" +
+                               name + "'");
+    }
+    is.read(reinterpret_cast<char*>(p->value.data().data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!is) throw std::runtime_error("load_parameters: truncated file " + path);
+}
+
+}  // namespace rlplan::nn

@@ -1,0 +1,23 @@
+// Binary checkpointing of module parameters.
+//
+// Format: magic "RLPNNv1\n", uint64 parameter count, then per parameter:
+// uint64 name length + bytes, uint64 rank, uint64 dims..., float32 data.
+// Loading verifies names and shapes against the destination parameter list,
+// so a checkpoint can only be restored into an identically-built network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace rlplan::nn {
+
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+/// Throws std::runtime_error on I/O failure or any name/shape mismatch.
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+}  // namespace rlplan::nn

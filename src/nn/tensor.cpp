@@ -1,0 +1,65 @@
+#include "nn/tensor.h"
+
+#include <stdexcept>
+
+namespace rlplan::nn {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor& Tensor::add_(const Tensor& o) {
+  if (!same_shape(o)) {
+    throw std::invalid_argument("Tensor::add_: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Tensor::squared_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return s;
+}
+
+}  // namespace rlplan::nn

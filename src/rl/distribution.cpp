@@ -1,0 +1,79 @@
+#include "rl/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlplan::rl {
+
+namespace {
+constexpr float kNegInf = -1e30f;
+}
+
+MaskedCategorical::MaskedCategorical(std::span<const float> logits,
+                                     std::span<const std::uint8_t> mask) {
+  if (logits.size() != mask.size() || logits.empty()) {
+    throw std::invalid_argument("MaskedCategorical: size mismatch");
+  }
+  probs_.assign(logits.size(), 0.0f);
+  log_probs_.assign(logits.size(), kNegInf);
+
+  float max_logit = kNegInf;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask[i] != 0) max_logit = std::max(max_logit, logits[i]);
+  }
+  if (max_logit == kNegInf) {
+    throw std::invalid_argument("MaskedCategorical: no feasible action");
+  }
+
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask[i] == 0) continue;
+    const double e = std::exp(static_cast<double>(logits[i] - max_logit));
+    probs_[i] = static_cast<float>(e);
+    z += e;
+  }
+  const auto log_z = static_cast<float>(std::log(z));
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask[i] == 0) continue;
+    probs_[i] = static_cast<float>(probs_[i] / z);
+    log_probs_[i] = logits[i] - max_logit - log_z;
+  }
+}
+
+float MaskedCategorical::log_prob(std::size_t action) const {
+  return log_probs_.at(action);
+}
+
+float MaskedCategorical::entropy() const {
+  double h = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (probs_[i] > 0.0f) {
+      h -= static_cast<double>(probs_[i]) * log_probs_[i];
+    }
+  }
+  return static_cast<float>(h);
+}
+
+std::size_t MaskedCategorical::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  double cdf = 0.0;
+  std::size_t last_feasible = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (probs_[i] <= 0.0f) continue;
+    last_feasible = i;
+    any = true;
+    cdf += probs_[i];
+    if (u < cdf) return i;
+  }
+  (void)any;
+  return last_feasible;  // floating-point tail: return final feasible action
+}
+
+std::size_t MaskedCategorical::argmax() const {
+  return static_cast<std::size_t>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+}  // namespace rlplan::rl

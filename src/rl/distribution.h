@@ -1,0 +1,45 @@
+// Masked categorical action distribution.
+//
+// Implements the paper's action-masking step: "the probability of infeasible
+// actions will [be] set to '0' based on M_t". Numerically this is a softmax
+// over valid logits only; masked entries carry zero probability and do not
+// receive gradient.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlplan::rl {
+
+class MaskedCategorical {
+ public:
+  /// Builds the distribution from raw logits and a feasibility mask
+  /// (mask[i] != 0 => action i allowed). At least one action must be
+  /// feasible; throws std::invalid_argument otherwise.
+  MaskedCategorical(std::span<const float> logits,
+                    std::span<const std::uint8_t> mask);
+
+  std::size_t num_actions() const { return probs_.size(); }
+  const std::vector<float>& probs() const { return probs_; }
+
+  /// log pi(a); -inf-like sentinel (-1e30) for masked actions.
+  float log_prob(std::size_t action) const;
+
+  /// Shannon entropy over the feasible support.
+  float entropy() const;
+
+  /// Samples an action via inverse-CDF on the masked probabilities.
+  std::size_t sample(Rng& rng) const;
+
+  /// Highest-probability feasible action (greedy decode).
+  std::size_t argmax() const;
+
+ private:
+  std::vector<float> probs_;
+  std::vector<float> log_probs_;  // masked entries = -1e30
+};
+
+}  // namespace rlplan::rl

@@ -1,0 +1,121 @@
+#include "rl/planner.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace rlplan::rl {
+
+RlPlanner::RlPlanner(RlPlannerConfig config) : config_(std::move(config)) {}
+
+PlannerResult RlPlanner::plan(const ChipletSystem& system,
+                              const thermal::LayerStack& stack) {
+  if (config_.backend == ThermalBackend::kGridSolver) {
+    thermal::GridSolverEvaluator evaluator(stack, config_.solver);
+    return run(system, stack, evaluator, 0.0);
+  }
+  const Timer timer;
+  thermal::ThermalCharacterizer characterizer(stack,
+                                              config_.characterization);
+  thermal::FastThermalModel model = characterizer.characterize(
+      system.interposer_width(), system.interposer_height());
+  const double charac_s = timer.seconds();
+  thermal::FastModelEvaluator evaluator(std::move(model));
+  return run(system, stack, evaluator, charac_s);
+}
+
+PlannerResult RlPlanner::plan_with_model(const ChipletSystem& system,
+                                         const thermal::LayerStack& stack,
+                                         thermal::FastThermalModel model) {
+  thermal::FastModelEvaluator evaluator(std::move(model));
+  return run(system, stack, evaluator, 0.0);
+}
+
+PlannerResult RlPlanner::run(const ChipletSystem& system,
+                             const thermal::LayerStack& stack,
+                             thermal::ThermalEvaluator& evaluator,
+                             double characterization_s) {
+  PlannerResult result;
+  result.characterization_s = characterization_s;
+
+  FloorplanEnv env(system, evaluator, RewardCalculator(config_.reward),
+                   bump::BumpAssigner(config_.bump), config_.env);
+  PpoTrainer trainer(env, config_.net, config_.ppo);
+
+  const Timer timer;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.time_budget_s > 0.0 &&
+        timer.seconds() >= config_.time_budget_s) {
+      break;
+    }
+    TrainStats stats = trainer.train_epoch();
+    ++result.epochs_run;
+    if (config_.greedy_eval_every > 0 &&
+        (epoch + 1) % config_.greedy_eval_every == 0) {
+      trainer.greedy_episode();
+    }
+    if (config_.verbose) {
+      RLPLAN_INFO << "epoch " << epoch << ": mean_reward="
+                  << stats.mean_reward << " best=" << stats.best_reward
+                  << " entropy=" << stats.entropy
+                  << " dead_ends=" << stats.dead_ends;
+    }
+    result.history.push_back(stats);
+  }
+  // Final greedy decode often beats the best stochastic sample.
+  trainer.greedy_episode();
+  result.train_s = timer.seconds();
+  result.env_steps = trainer.total_env_steps();
+
+  if (!trainer.has_best()) {
+    RLPLAN_WARN << "no complete episode sampled; falling back to first-fit";
+    result.best = first_fit_floorplan(system, config_.env);
+    result.best_metrics = env.evaluate_floorplan(*result.best);
+  } else {
+    result.best = trainer.best_floorplan();
+    result.best_metrics = trainer.best_metrics();
+  }
+
+  // Ground-truth final evaluation (comparable across methods, as Table I
+  // reports HotSpot temperatures for every configuration).
+  thermal::GridThermalSolver truth(stack, config_.solver);
+  result.final_temperature_c = truth.solve(system, *result.best).max_temp_c;
+  result.final_wirelength_mm =
+      bump::BumpAssigner(config_.bump).assign(system, *result.best).total_mm;
+  result.final_reward = RewardCalculator(config_.reward)
+                            .reward(result.final_wirelength_mm,
+                                    result.final_temperature_c);
+  return result;
+}
+
+Floorplan first_fit_floorplan(const ChipletSystem& system,
+                              const EnvConfig& config) {
+  Floorplan fp(system);
+  const std::size_t g = config.grid;
+  const auto order = config.order.empty() ? system.placement_order_by_area()
+                                          : config.order;
+  for (const std::size_t chiplet : order) {
+    bool placed = false;
+    for (std::size_t a = 0; a < g * g && !placed; ++a) {
+      const std::size_t row = a / g;
+      const std::size_t col = a % g;
+      const Point p{system.interposer_width() * static_cast<double>(col) /
+                        static_cast<double>(g),
+                    system.interposer_height() * static_cast<double>(row) /
+                        static_cast<double>(g)};
+      if (fp.can_place(chiplet, p, false, config.spacing_mm)) {
+        fp.place(chiplet, p, false);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      throw std::runtime_error("first_fit_floorplan: chiplet " +
+                               system.chiplet(chiplet).name +
+                               " does not fit");
+    }
+  }
+  return fp;
+}
+
+}  // namespace rlplan::rl

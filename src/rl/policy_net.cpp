@@ -1,0 +1,72 @@
+#include "rl/policy_net.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace rlplan::rl {
+
+PolicyValueNet::PolicyValueNet(PolicyNetConfig config, Rng& rng)
+    : config_(config),
+      policy_head_(config.fc, config.grid * config.grid, rng, "policy_head"),
+      value_head_(config.fc, 1, rng, "value_head") {
+  if (config_.grid % 4 != 0) {
+    throw std::invalid_argument(
+        "PolicyNetConfig: grid must be a multiple of 4 (two stride-2 convs)");
+  }
+  const std::size_t g4 = config_.grid / 4;
+  trunk_.add(std::make_unique<nn::Conv2d>(config_.channels_in, config_.conv1,
+                                          3, 1, 1, rng, "conv1"));
+  trunk_.add(std::make_unique<nn::ReLU>());
+  trunk_.add(std::make_unique<nn::Conv2d>(config_.conv1, config_.conv2, 3, 2,
+                                          1, rng, "conv2"));
+  trunk_.add(std::make_unique<nn::ReLU>());
+  trunk_.add(std::make_unique<nn::Conv2d>(config_.conv2, config_.conv3, 3, 2,
+                                          1, rng, "conv3"));
+  trunk_.add(std::make_unique<nn::ReLU>());
+  trunk_.add(std::make_unique<nn::Flatten>());
+  trunk_.add(std::make_unique<nn::Linear>(config_.conv3 * g4 * g4, config_.fc,
+                                          rng, "fc_shared"));
+  trunk_.add(std::make_unique<nn::ReLU>());
+}
+
+PolicyValueNet::Output PolicyValueNet::forward(const nn::Tensor& states) {
+  if (states.rank() != 4 || states.dim(1) != config_.channels_in ||
+      states.dim(2) != config_.grid || states.dim(3) != config_.grid) {
+    throw std::invalid_argument("PolicyValueNet::forward: bad state shape");
+  }
+  const nn::Tensor features = trunk_.forward(states);
+  Output out;
+  out.logits = policy_head_.forward(features);
+  out.value = value_head_.forward(features);
+  return out;
+}
+
+void PolicyValueNet::backward(const nn::Tensor& grad_logits,
+                              const nn::Tensor& grad_value) {
+  nn::Tensor d_features = policy_head_.backward(grad_logits);
+  d_features.add_(value_head_.backward(grad_value));
+  trunk_.backward(d_features);
+}
+
+std::vector<nn::Parameter*> PolicyValueNet::parameters() {
+  std::vector<nn::Parameter*> params = trunk_.parameters();
+  for (nn::Parameter* p : policy_head_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : value_head_.parameters()) params.push_back(p);
+  return params;
+}
+
+void PolicyValueNet::zero_grad() {
+  for (nn::Parameter* p : parameters()) p->grad.fill(0.0f);
+}
+
+void PolicyValueNet::save(const std::string& path) {
+  nn::save_parameters(parameters(), path);
+}
+
+void PolicyValueNet::load(const std::string& path) {
+  nn::load_parameters(parameters(), path);
+}
+
+}  // namespace rlplan::rl

@@ -1,0 +1,264 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "rl/distribution.h"
+#include "util/log.h"
+
+namespace rlplan::rl {
+
+PpoTrainer::PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config,
+                       PpoConfig config)
+    : env_(&env),
+      config_(config),
+      rng_(config.seed),
+      net_([&] {
+        net_config.grid = env.grid();
+        net_config.channels_in = FloorplanEnv::kChannels;
+        return net_config;
+      }(), rng_),
+      optimizer_({}, config.adam) {
+  optimizer_ = nn::Adam(net_.parameters(), config_.adam);
+  if (config_.use_rnd) {
+    rnd_.emplace(FloorplanEnv::kChannels, env.grid(), config_.rnd, rng_);
+  }
+  intrinsic_scale_ = 1.0f;
+}
+
+const Floorplan& PpoTrainer::best_floorplan() const {
+  if (!best_floorplan_) {
+    throw std::logic_error("PpoTrainer: no complete episode seen yet");
+  }
+  return *best_floorplan_;
+}
+
+void PpoTrainer::consider_best(const EpisodeMetrics& metrics) {
+  if (!metrics.valid) return;
+  if (!best_floorplan_ || metrics.reward > best_metrics_.reward) {
+    best_floorplan_ = env_->floorplan();
+    best_metrics_ = metrics;
+  }
+}
+
+void PpoTrainer::collect(TrainStats& stats) {
+  buffer_.clear();
+  double reward_sum = 0.0;
+  double reward_best = -1e300;
+
+  for (int ep = 0; ep < config_.episodes_per_update; ++ep) {
+    nn::Tensor obs = env_->reset();
+    bool done = false;
+    while (!done) {
+      // Batch-1 forward for action selection.
+      nn::Tensor batch = obs;
+      batch.reshape({1, obs.dim(0), obs.dim(1), obs.dim(2)});
+      PolicyValueNet::Output out = net_.forward(batch);
+
+      const std::vector<std::uint8_t> mask = env_->action_mask();
+      const MaskedCategorical dist(out.logits.data(), mask);
+      const std::size_t action = dist.sample(rng_);
+
+      Transition tr;
+      tr.state = obs;
+      tr.mask = mask;
+      tr.action = action;
+      tr.log_prob = dist.log_prob(action);
+      tr.value = out.value[0];
+      if (rnd_) tr.reward_int = rnd_->bonus(obs);
+
+      const StepOutcome outcome = env_->step(action);
+      ++total_env_steps_;
+      tr.reward_ext = static_cast<float>(outcome.reward);
+      tr.episode_end = outcome.done;
+      done = outcome.done;
+      if (!done) obs = env_->observation();
+
+      buffer_.push(std::move(tr));
+
+      if (outcome.done) {
+        ++stats.episodes;
+        if (outcome.dead_end) {
+          ++stats.dead_ends;
+        } else {
+          consider_best(env_->last_metrics());
+        }
+        reward_sum += outcome.reward;
+        reward_best = std::max(reward_best, outcome.reward);
+        // Fold into the running reward-normalization statistics.
+        ++rew_n_;
+        const double delta = outcome.reward - rew_mean_;
+        rew_mean_ += delta / static_cast<double>(rew_n_);
+        rew_m2_ += delta * (outcome.reward - rew_mean_);
+      }
+    }
+  }
+  stats.steps = buffer_.size();
+  stats.mean_reward =
+      stats.episodes > 0 ? reward_sum / static_cast<double>(stats.episodes)
+                         : 0.0;
+  stats.best_reward = stats.episodes > 0 ? reward_best : 0.0;
+}
+
+void PpoTrainer::update(TrainStats& stats) {
+  // Reward normalization: divide by the running std of episode rewards so
+  // value targets are O(1) regardless of the objective's physical scale.
+  if (config_.normalize_rewards && rew_n_ >= 2) {
+    const double var = rew_m2_ / static_cast<double>(rew_n_ - 1);
+    const double stddev = std::sqrt(var);
+    const auto scale = static_cast<float>(
+        1.0 / std::clamp(stddev, 1e-3, 1e9));
+    for (auto& tr : buffer_.mutable_steps()) {
+      tr.reward_ext *= scale;
+    }
+  }
+
+  GaeConfig gae = config_.gae;
+  gae.intrinsic_coef = config_.intrinsic_coef * intrinsic_scale_;
+  buffer_.compute_advantages(gae);
+
+  const std::size_t n = buffer_.size();
+  const std::size_t c = FloorplanEnv::kChannels;
+  const std::size_t g = env_->grid();
+  const std::size_t num_actions = env_->num_actions();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  double policy_loss_sum = 0.0, value_loss_sum = 0.0, entropy_sum = 0.0;
+  double kl_sum = 0.0, grad_norm_sum = 0.0;
+  std::size_t sample_count = 0, batch_count = 0;
+
+  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    // Deterministic Fisher-Yates shuffle per epoch.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.uniform_int(std::uint64_t{i})]);
+    }
+    for (std::size_t start = 0; start < n; start += config_.minibatch) {
+      const std::size_t count = std::min(config_.minibatch, n - start);
+
+      nn::Tensor batch({count, c, g, g});
+      for (std::size_t b = 0; b < count; ++b) {
+        const Transition& tr = buffer_.step(order[start + b]);
+        std::copy(tr.state.data().begin(), tr.state.data().end(),
+                  batch.data().begin() +
+                      static_cast<std::ptrdiff_t>(b * tr.state.numel()));
+      }
+
+      PolicyValueNet::Output out = net_.forward(batch);
+      nn::Tensor grad_logits({count, num_actions});
+      nn::Tensor grad_value({count, std::size_t{1}});
+      const float inv_count = 1.0f / static_cast<float>(count);
+
+      for (std::size_t b = 0; b < count; ++b) {
+        const Transition& tr = buffer_.step(order[start + b]);
+        const float adv = buffer_.advantages()[order[start + b]];
+        const float ret = buffer_.returns()[order[start + b]];
+
+        const std::span<const float> logits_row(
+            out.logits.data().data() + b * num_actions, num_actions);
+        const MaskedCategorical dist(logits_row, tr.mask);
+        const float logp_new = dist.log_prob(tr.action);
+        const float ratio = std::exp(logp_new - tr.log_prob);
+        const float entropy = dist.entropy();
+
+        // Clipped surrogate: L = -min(ratio*A, clip(ratio)*A).
+        const float unclipped = ratio * adv;
+        const float clipped =
+            std::clamp(ratio, 1.0f - config_.clip, 1.0f + config_.clip) * adv;
+        policy_loss_sum += -std::min(unclipped, clipped);
+        kl_sum += tr.log_prob - logp_new;
+        entropy_sum += entropy;
+
+        // d(-min)/dlogp_new: zero when the clipped branch is active.
+        float dl_dlogp = 0.0f;
+        const bool clip_active =
+            (adv >= 0.0f && ratio > 1.0f + config_.clip) ||
+            (adv < 0.0f && ratio < 1.0f - config_.clip);
+        if (!clip_active) dl_dlogp = -adv * ratio;
+        dl_dlogp *= inv_count;
+
+        // dlogp_a/dlogit_k = delta_ak - p_k (restricted to the mask support);
+        // entropy term: dH/dlogit_k = -p_k (log p_k + H).
+        const auto& probs = dist.probs();
+        for (std::size_t k = 0; k < num_actions; ++k) {
+          const float p = probs[k];
+          float grad = 0.0f;
+          if (p > 0.0f) {
+            const float delta_ak = (k == tr.action) ? 1.0f : 0.0f;
+            grad += dl_dlogp * (delta_ak - p);
+            const float logp_k = std::log(p);
+            grad += config_.ent_coef * inv_count * p * (logp_k + entropy);
+          }
+          grad_logits.at(b, k) = grad;
+        }
+
+        // Value head: vf_coef * (v - ret)^2, mean over batch.
+        const float v = out.value.at(b, 0);
+        value_loss_sum += static_cast<double>(v - ret) * (v - ret);
+        grad_value.at(b, 0) =
+            config_.vf_coef * 2.0f * (v - ret) * inv_count;
+      }
+
+      net_.zero_grad();
+      net_.backward(grad_logits, grad_value);
+      grad_norm_sum +=
+          nn::clip_grad_norm(net_.parameters(), config_.max_grad_norm);
+      optimizer_.step();
+
+      sample_count += count;
+      ++batch_count;
+    }
+  }
+
+  if (sample_count > 0) {
+    stats.policy_loss = policy_loss_sum / static_cast<double>(sample_count);
+    stats.value_loss = value_loss_sum / static_cast<double>(sample_count);
+    stats.entropy = entropy_sum / static_cast<double>(sample_count);
+    stats.approx_kl = kl_sum / static_cast<double>(sample_count);
+  }
+  if (batch_count > 0) {
+    stats.grad_norm = grad_norm_sum / static_cast<double>(batch_count);
+  }
+
+  // RND predictor catches up on the freshly visited states, then the bonus
+  // anneals so late training focuses on the extrinsic objective.
+  if (rnd_) {
+    std::vector<const nn::Tensor*> states;
+    states.reserve(buffer_.size());
+    for (const auto& tr : buffer_.steps()) states.push_back(&tr.state);
+    stats.rnd_error = rnd_->train(states, rng_);
+    intrinsic_scale_ *= config_.intrinsic_decay;
+  }
+}
+
+TrainStats PpoTrainer::train_epoch() {
+  TrainStats stats;
+  collect(stats);
+  if (!buffer_.empty()) update(stats);
+  return stats;
+}
+
+EpisodeMetrics PpoTrainer::greedy_episode() {
+  nn::Tensor obs = env_->reset();
+  bool done = false;
+  bool dead_end = false;
+  while (!done) {
+    nn::Tensor batch = obs;
+    batch.reshape({1, obs.dim(0), obs.dim(1), obs.dim(2)});
+    PolicyValueNet::Output out = net_.forward(batch);
+    const MaskedCategorical dist(out.logits.data(), env_->action_mask());
+    const StepOutcome outcome = env_->step(dist.argmax());
+    done = outcome.done;
+    dead_end = outcome.dead_end;
+    if (!done) obs = env_->observation();
+  }
+  if (dead_end) return {};
+  const EpisodeMetrics metrics = env_->last_metrics();
+  consider_best(metrics);
+  return metrics;
+}
+
+}  // namespace rlplan::rl

@@ -1,0 +1,109 @@
+// Proximal Policy Optimization trainer (Schulman et al., 2017; paper
+// Section II-B) with optional RND intrinsic bonus.
+//
+// One train_epoch() = collect `episodes_per_update` complete placement
+// episodes under the current policy, then run `update_epochs` passes of
+// clipped-surrogate minibatch SGD (Adam) over the rollout. Policy gradients
+// flow through the masked softmax analytically (see update()), so masked
+// actions receive exactly zero gradient.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/floorplan.h"
+#include "nn/optim.h"
+#include "rl/env.h"
+#include "rl/policy_net.h"
+#include "rl/rnd.h"
+#include "rl/rollout.h"
+#include "util/rng.h"
+
+namespace rlplan::rl {
+
+struct PpoConfig {
+  int episodes_per_update = 16;
+  int update_epochs = 4;
+  std::size_t minibatch = 64;
+  float clip = 0.2f;
+  float vf_coef = 0.5f;
+  float ent_coef = 0.01f;
+  float max_grad_norm = 0.5f;
+  GaeConfig gae{};
+  nn::AdamConfig adam{};
+  /// Enables random network distillation exploration bonus.
+  bool use_rnd = false;
+  RndConfig rnd{};
+  /// Initial weight of the intrinsic reward (annealed multiplicatively by
+  /// `intrinsic_decay` every update so late training optimizes the true
+  /// objective).
+  float intrinsic_coef = 0.3f;
+  float intrinsic_decay = 0.99f;
+  /// Normalize extrinsic rewards by the running std of episode rewards
+  /// before GAE, so the value-loss gradient scale is independent of the
+  /// objective's physical units (wirelength in mm produces rewards of
+  /// wildly different magnitudes across benchmarks).
+  bool normalize_rewards = true;
+  std::uint64_t seed = 1;
+};
+
+struct TrainStats {
+  double mean_reward = 0.0;  ///< mean terminal extrinsic reward this epoch
+  double best_reward = 0.0;  ///< best terminal reward this epoch
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  double approx_kl = 0.0;
+  double grad_norm = 0.0;
+  double rnd_error = 0.0;
+  std::size_t steps = 0;
+  std::size_t episodes = 0;
+  std::size_t dead_ends = 0;
+};
+
+class PpoTrainer {
+ public:
+  /// `env` must outlive the trainer.
+  PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config, PpoConfig config);
+
+  /// One collect + update cycle. Returns statistics of the epoch.
+  TrainStats train_epoch();
+
+  /// Best complete (non-dead-end) floorplan seen in any sampled episode.
+  bool has_best() const { return best_floorplan_.has_value(); }
+  const Floorplan& best_floorplan() const;
+  const EpisodeMetrics& best_metrics() const { return best_metrics_; }
+
+  /// Runs one greedy (argmax) episode and returns its metrics; also updates
+  /// the best floorplan if the greedy result improves on it.
+  EpisodeMetrics greedy_episode();
+
+  PolicyValueNet& net() { return net_; }
+  const PpoConfig& config() const { return config_; }
+  long total_env_steps() const { return total_env_steps_; }
+
+ private:
+  void collect(TrainStats& stats);
+  void update(TrainStats& stats);
+  void consider_best(const EpisodeMetrics& metrics);
+
+  FloorplanEnv* env_;
+  PpoConfig config_;
+  Rng rng_;
+  PolicyValueNet net_;
+  std::optional<RndBonus> rnd_;
+  nn::Adam optimizer_;
+  RolloutBuffer buffer_;
+  float intrinsic_scale_ = 1.0f;
+  long total_env_steps_ = 0;
+  // Running std of episode rewards for reward normalization (Welford).
+  double rew_mean_ = 0.0;
+  double rew_m2_ = 0.0;
+  long rew_n_ = 0;
+
+  std::optional<Floorplan> best_floorplan_;
+  EpisodeMetrics best_metrics_{};
+};
+
+}  // namespace rlplan::rl

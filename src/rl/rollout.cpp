@@ -1,0 +1,80 @@
+#include "rl/rollout.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlplan::rl {
+
+void RolloutBuffer::clear() {
+  steps_.clear();
+  advantages_.clear();
+  returns_.clear();
+}
+
+void RolloutBuffer::push(Transition t) { steps_.push_back(std::move(t)); }
+
+void RolloutBuffer::compute_advantages(const GaeConfig& config) {
+  const std::size_t n = steps_.size();
+  advantages_.assign(n, 0.0f);
+  returns_.assign(n, 0.0f);
+  if (n == 0) return;
+  if (!steps_.back().episode_end) {
+    throw std::logic_error(
+        "compute_advantages: buffer must end on an episode boundary");
+  }
+
+  // Backward GAE sweep; delta_t = r_t + gamma V(s_{t+1}) - V(s_t).
+  float gae = 0.0f;
+  for (std::size_t idx = n; idx-- > 0;) {
+    const Transition& t = steps_[idx];
+    const float next_value =
+        t.episode_end ? 0.0f : steps_[idx + 1].value;
+    const float reward =
+        t.reward_ext + config.intrinsic_coef * t.reward_int;
+    const float delta =
+        reward + config.gamma * next_value - t.value;
+    gae = t.episode_end
+              ? delta
+              : delta + config.gamma * config.lam * gae;
+    advantages_[idx] = gae;
+    returns_[idx] = gae + t.value;
+  }
+
+  // Normalize advantages.
+  double mean = 0.0;
+  for (float a : advantages_) mean += a;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (float a : advantages_) {
+    const double d = a - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  const double stddev = std::sqrt(var);
+  const double denom = stddev > 1e-8 ? stddev : 1.0;
+  for (float& a : advantages_) {
+    a = static_cast<float>((a - mean) / denom);
+  }
+}
+
+double RolloutBuffer::mean_episode_reward() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& t : steps_) {
+    if (t.episode_end) {
+      sum += t.reward_ext;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::size_t RolloutBuffer::num_episodes() const {
+  std::size_t count = 0;
+  for (const auto& t : steps_) {
+    if (t.episode_end) ++count;
+  }
+  return count;
+}
+
+}  // namespace rlplan::rl

@@ -1,0 +1,60 @@
+// Experience storage and generalized advantage estimation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rlplan::rl {
+
+/// One environment transition.
+struct Transition {
+  nn::Tensor state;                 ///< [C, G, G]
+  std::vector<std::uint8_t> mask;   ///< feasibility mask at this state
+  std::size_t action = 0;
+  float log_prob = 0.0f;            ///< log pi_old(a|s)
+  float value = 0.0f;               ///< V_old(s)
+  float reward_ext = 0.0f;          ///< extrinsic (terminal-only in this MDP)
+  float reward_int = 0.0f;          ///< RND intrinsic bonus (0 when disabled)
+  bool episode_end = false;
+};
+
+struct GaeConfig {
+  float gamma = 0.99f;
+  float lam = 0.95f;
+  float intrinsic_coef = 1.0f;  ///< weight on reward_int when summing
+};
+
+class RolloutBuffer {
+ public:
+  void clear();
+  void push(Transition t);
+
+  std::size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  const Transition& step(std::size_t i) const { return steps_.at(i); }
+  const std::vector<Transition>& steps() const { return steps_; }
+  /// Mutable access for in-place reward normalization before GAE.
+  std::vector<Transition>& mutable_steps() { return steps_; }
+
+  /// Computes GAE advantages and returns for every stored step. Episodes are
+  /// delimited by episode_end; terminal bootstrap value is 0 (episodes are
+  /// finite placements). Advantages are then normalized to zero mean / unit
+  /// std over the buffer (standard PPO practice).
+  void compute_advantages(const GaeConfig& config);
+
+  const std::vector<float>& advantages() const { return advantages_; }
+  const std::vector<float>& returns() const { return returns_; }
+
+  /// Mean terminal extrinsic reward over completed episodes in the buffer.
+  double mean_episode_reward() const;
+  std::size_t num_episodes() const;
+
+ private:
+  std::vector<Transition> steps_;
+  std::vector<float> advantages_;
+  std::vector<float> returns_;
+};
+
+}  // namespace rlplan::rl

@@ -1,0 +1,136 @@
+#include "sa/tap25d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rl/planner.h"
+#include "util/log.h"
+
+namespace rlplan::sa {
+
+Tap25dPlanner::Tap25dPlanner(Tap25dConfig config) : config_(config) {
+  const double p_total =
+      config_.p_displace + config_.p_swap + config_.p_rotate;
+  if (p_total <= 0.0) {
+    throw std::invalid_argument("Tap25dConfig: move probabilities sum to 0");
+  }
+}
+
+Tap25dResult Tap25dPlanner::plan(const ChipletSystem& system,
+                                 thermal::ThermalEvaluator& evaluator,
+                                 RewardCalculator reward_calc,
+                                 bump::BumpAssigner assigner) {
+  system.validate();
+  Rng rng(config_.seed);
+
+  // Initial state: deterministic first-fit on a fine grid.
+  rl::EnvConfig ff_config;
+  ff_config.grid = 64;
+  ff_config.spacing_mm = config_.spacing_mm;
+  Floorplan initial = rl::first_fit_floorplan(system, ff_config);
+
+  const double p_total =
+      config_.p_displace + config_.p_swap + config_.p_rotate;
+  const double p_disp = config_.p_displace / p_total;
+  const double p_swap = p_disp + config_.p_swap / p_total;
+
+  // Displacement range anneals with the cooling-level count.
+  const double iw = system.interposer_width();
+  const double ih = system.interposer_height();
+  const std::size_t n = system.num_chiplets();
+  long level_estimate = 1;
+  {
+    // Estimated number of cooling levels for range interpolation.
+    const double t0 = config_.anneal.t_initial > 0 ? config_.anneal.t_initial
+                                                   : 1.0;
+    const double span = std::log(std::max(
+        t0 / std::max(config_.anneal.t_final, 1e-12), 1.000001));
+    level_estimate = std::max<long>(
+        1, static_cast<long>(span / -std::log(config_.anneal.cooling)));
+  }
+  long proposal_counter = 0;
+
+  const auto propose = [&](const Floorplan& state,
+                           Rng& r) -> std::optional<Floorplan> {
+    ++proposal_counter;
+    const double progress = std::min(
+        1.0, static_cast<double>(proposal_counter) /
+                 (static_cast<double>(level_estimate) *
+                  config_.anneal.moves_per_temperature));
+    const double frac =
+        config_.displace_frac_initial +
+        (config_.displace_frac_final - config_.displace_frac_initial) *
+            progress;
+
+    Floorplan next = state;
+    const double u = r.uniform();
+    if (u < p_disp || n < 2) {
+      // Displace one die by a bounded random offset.
+      const std::size_t i = r.uniform_int(std::uint64_t{n});
+      const auto& pl = *state.placement(i);
+      const double dx = r.uniform(-frac * iw, frac * iw);
+      const double dy = r.uniform(-frac * ih, frac * ih);
+      const Rect fp = state.rect_of(i);
+      const Point pos{
+          std::clamp(pl.position.x + dx, 0.0, iw - fp.w),
+          std::clamp(pl.position.y + dy, 0.0, ih - fp.h)};
+      if (!next.can_place(i, pos, pl.rotated, config_.spacing_mm)) {
+        return std::nullopt;
+      }
+      next.place(i, pos, pl.rotated);
+    } else if (u < p_swap) {
+      // Swap the positions of two dies (keeping orientations).
+      const std::size_t i = r.uniform_int(std::uint64_t{n});
+      std::size_t j = r.uniform_int(std::uint64_t{n - 1});
+      if (j >= i) ++j;
+      const Placement pi = *state.placement(i);
+      const Placement pj = *state.placement(j);
+      next.unplace(i);
+      next.unplace(j);
+      if (!next.can_place(i, pj.position, pi.rotated, config_.spacing_mm)) {
+        return std::nullopt;
+      }
+      next.place(i, pj.position, pi.rotated);
+      if (!next.can_place(j, pi.position, pj.rotated, config_.spacing_mm)) {
+        return std::nullopt;
+      }
+      next.place(j, pi.position, pj.rotated);
+      if (!next.system().interposer_rect().contains(next.rect_of(i)) ||
+          !next.system().interposer_rect().contains(next.rect_of(j))) {
+        return std::nullopt;
+      }
+    } else {
+      // Rotate one die in place (90 degrees about its lower-left corner).
+      const std::size_t i = r.uniform_int(std::uint64_t{n});
+      const auto& pl = *state.placement(i);
+      next.unplace(i);
+      if (!next.can_place(i, pl.position, !pl.rotated, config_.spacing_mm)) {
+        return std::nullopt;
+      }
+      next.place(i, pl.position, !pl.rotated);
+    }
+    return next;
+  };
+
+  const auto cost = [&](const Floorplan& state) -> double {
+    const double wl = assigner.assign(system, state).total_mm;
+    const double temp = evaluator.max_temperature(system, state);
+    return reward_calc.cost(wl, temp);
+  };
+
+  Tap25dResult result(initial);
+  result.best = anneal<Floorplan>(std::move(initial), cost, propose,
+                                  config_.anneal, rng, result.stats);
+
+  result.wirelength_mm = assigner.assign(system, result.best).total_mm;
+  result.temperature_c = evaluator.max_temperature(system, result.best);
+  result.reward =
+      reward_calc.reward(result.wirelength_mm, result.temperature_c);
+  RLPLAN_INFO << "TAP-2.5D(" << evaluator.name() << "): reward "
+              << result.reward << " after " << result.stats.evaluations
+              << " evaluations";
+  return result;
+}
+
+}  // namespace rlplan::sa

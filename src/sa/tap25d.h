@@ -1,0 +1,64 @@
+// TAP-2.5D baseline: thermally-aware simulated-annealing chiplet placement
+// (Ma et al., DATE 2021) — the comparison method of Tables I and III.
+//
+// State: a complete legal floorplan. Moves: displace one die (range shrinks
+// as temperature falls), swap two dies, rotate one die; illegal proposals are
+// rejected pre-evaluation. Cost: the negated RLPlanner reward (identical
+// objective), with the thermal term supplied by an injected evaluator — the
+// grid solver reproduces TAP-2.5D(HotSpot), the fast model reproduces
+// TAP-2.5D(Fast Thermal Model).
+#pragma once
+
+#include <cstdint>
+
+#include "bump/assigner.h"
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "core/reward.h"
+#include "sa/annealer.h"
+#include "thermal/evaluator.h"
+
+namespace rlplan::sa {
+
+struct Tap25dConfig {
+  AnnealOptions anneal{};
+  /// Move mix (normalized internally).
+  double p_displace = 0.6;
+  double p_swap = 0.25;
+  double p_rotate = 0.15;
+  /// Displacement range as a fraction of interposer extent at T0, shrinking
+  /// linearly (in cooling-level count) to the final fraction.
+  double displace_frac_initial = 0.35;
+  double displace_frac_final = 0.02;
+  double spacing_mm = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct Tap25dResult {
+  Floorplan best;
+  double reward = 0.0;
+  double wirelength_mm = 0.0;
+  double temperature_c = 0.0;  ///< from the *injected* evaluator
+  AnnealStats stats{};
+
+  explicit Tap25dResult(Floorplan fp) : best(std::move(fp)) {}
+};
+
+class Tap25dPlanner {
+ public:
+  explicit Tap25dPlanner(Tap25dConfig config = {});
+
+  const Tap25dConfig& config() const { return config_; }
+
+  /// Anneals from a first-fit initial placement. `evaluator` supplies the
+  /// thermal term; wall/evaluation budgets come from config().anneal.
+  Tap25dResult plan(const ChipletSystem& system,
+                    thermal::ThermalEvaluator& evaluator,
+                    RewardCalculator reward_calc = RewardCalculator{},
+                    bump::BumpAssigner assigner = bump::BumpAssigner{});
+
+ private:
+  Tap25dConfig config_;
+};
+
+}  // namespace rlplan::sa

@@ -1,0 +1,135 @@
+#include "systems/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlplan::systems {
+
+SyntheticSystemGenerator::SyntheticSystemGenerator(SyntheticConfig config)
+    : config_(config) {
+  if (config_.min_chiplets < 2 ||
+      config_.max_chiplets < config_.min_chiplets) {
+    throw std::invalid_argument("SyntheticConfig: bad chiplet count range");
+  }
+  if (config_.min_dim_mm <= 0.0 ||
+      config_.max_dim_mm < config_.min_dim_mm) {
+    throw std::invalid_argument("SyntheticConfig: bad dimension range");
+  }
+}
+
+ChipletSystem SyntheticSystemGenerator::generate(
+    std::uint64_t seed, const std::string& name) const {
+  Rng rng(seed ^ 0x53594e5448ULL);  // namespace the stream: "SYNTH"
+  const auto count = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config_.min_chiplets),
+      static_cast<std::int64_t>(config_.max_chiplets)));
+
+  const double interposer_area =
+      config_.interposer_w_mm * config_.interposer_h_mm;
+  std::vector<Chiplet> chiplets;
+  chiplets.reserve(count);
+  double used_area = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Redraw dies that would push utilization past the cap so every
+    // generated instance is comfortably placeable.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double w = rng.uniform(config_.min_dim_mm, config_.max_dim_mm);
+      const double h = rng.uniform(config_.min_dim_mm, config_.max_dim_mm);
+      if ((used_area + w * h) / interposer_area > config_.max_utilization &&
+          attempt < 63) {
+        continue;
+      }
+      const double p = rng.uniform(config_.min_power_w, config_.max_power_w);
+      chiplets.push_back(
+          {"c" + std::to_string(i), w, h, p});
+      used_area += w * h;
+      break;
+    }
+  }
+
+  // Connectivity: random spanning tree first, then extra edges.
+  std::vector<InterChipletNet> nets;
+  for (std::size_t i = 1; i < chiplets.size(); ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{i}));
+    const int wires = static_cast<int>(rng.uniform_int(
+        static_cast<std::int64_t>(config_.min_wires),
+        static_cast<std::int64_t>(config_.max_wires)));
+    nets.push_back({j, i, wires});
+  }
+  for (std::size_t i = 0; i < chiplets.size(); ++i) {
+    for (std::size_t j = i + 1; j < chiplets.size(); ++j) {
+      if (!rng.bernoulli(config_.extra_net_prob)) continue;
+      const int wires = static_cast<int>(rng.uniform_int(
+          static_cast<std::int64_t>(config_.min_wires),
+          static_cast<std::int64_t>(config_.max_wires)));
+      nets.push_back({i, j, wires});
+    }
+  }
+
+  ChipletSystem system(
+      name.empty() ? "synthetic-" + std::to_string(seed) : name,
+      config_.interposer_w_mm, config_.interposer_h_mm, std::move(chiplets),
+      std::move(nets));
+  system.validate();
+  return system;
+}
+
+Floorplan random_legal_floorplan(const ChipletSystem& system, Rng& rng,
+                                 int max_tries, double spacing_mm) {
+  Floorplan fp(system);
+  const double iw = system.interposer_width();
+  const double ih = system.interposer_height();
+  for (const std::size_t i : system.placement_order_by_area()) {
+    const Chiplet& c = system.chiplet(i);
+    bool placed = false;
+    for (int t = 0; t < max_tries && !placed; ++t) {
+      const Point pos{rng.uniform(0.0, std::max(iw - c.width, 0.0)),
+                      rng.uniform(0.0, std::max(ih - c.height, 0.0))};
+      if (fp.can_place(i, pos, false, spacing_mm)) {
+        fp.place(i, pos, false);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Deterministic fallback: fine scan, left-to-right, bottom-to-top.
+      constexpr std::size_t kScan = 96;
+      for (std::size_t a = 0; a < kScan * kScan && !placed; ++a) {
+        const Point pos{
+            iw * static_cast<double>(a % kScan) / kScan,
+            ih * static_cast<double>(a / kScan) / kScan};
+        if (fp.can_place(i, pos, false, spacing_mm)) {
+          fp.place(i, pos, false);
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      throw std::runtime_error("random_legal_floorplan: cannot place " +
+                               c.name);
+    }
+  }
+  return fp;
+}
+
+std::vector<ChipletSystem> make_table3_cases() {
+  SyntheticConfig config;
+  config.interposer_w_mm = 40.0;
+  config.interposer_h_mm = 40.0;
+  config.min_chiplets = 4;
+  config.max_chiplets = 7;
+  config.min_dim_mm = 5.0;
+  config.max_dim_mm = 12.0;
+  // Power range keeps the 40x40 mm cases in the realistic 75-95 degC window
+  // under the default stack (the paper's Table III regime).
+  config.min_power_w = 5.0;
+  config.max_power_w = 22.0;
+  const SyntheticSystemGenerator gen(config);
+  std::vector<ChipletSystem> cases;
+  for (int i = 1; i <= 5; ++i) {
+    cases.push_back(gen.generate(100 + static_cast<std::uint64_t>(i),
+                                 "Case" + std::to_string(i)));
+  }
+  return cases;
+}
+
+}  // namespace rlplan::systems

@@ -1,0 +1,64 @@
+// Seeded synthetic chiplet-system generation.
+//
+// Two uses in the paper's evaluation:
+//  * Table II — "a dataset comprising 2,000 synthetic chiplet systems" for
+//    fast-model accuracy/speed statistics (systems + random legal
+//    placements, fixed interposer so one characterization covers all).
+//  * Table III — five synthetic benchmark cases (Case1..Case5) for
+//    optimizer comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "util/rng.h"
+
+namespace rlplan::systems {
+
+struct SyntheticConfig {
+  std::size_t min_chiplets = 3;
+  std::size_t max_chiplets = 8;
+  double min_dim_mm = 4.0;
+  double max_dim_mm = 14.0;
+  double min_power_w = 5.0;
+  double max_power_w = 45.0;
+  double interposer_w_mm = 50.0;
+  double interposer_h_mm = 50.0;
+  /// Reject draws whose utilization exceeds this (keeps instances placeable).
+  double max_utilization = 0.55;
+  int min_wires = 32;
+  int max_wires = 512;
+  /// Probability of a net between any chiplet pair beyond the connectivity-
+  /// guaranteeing spanning tree.
+  double extra_net_prob = 0.35;
+};
+
+class SyntheticSystemGenerator {
+ public:
+  explicit SyntheticSystemGenerator(SyntheticConfig config = {});
+
+  const SyntheticConfig& config() const { return config_; }
+
+  /// Deterministic: the same seed always yields the same system.
+  ChipletSystem generate(std::uint64_t seed,
+                         const std::string& name = "") const;
+
+ private:
+  SyntheticConfig config_;
+};
+
+/// Uniform-random legal placement by rejection sampling (up to `max_tries`
+/// per chiplet, largest chiplet first); falls back to a left-packed skyline
+/// scan when rejection fails. Throws std::runtime_error when even the
+/// fallback cannot place a chiplet.
+Floorplan random_legal_floorplan(const ChipletSystem& system, Rng& rng,
+                                 int max_tries = 200,
+                                 double spacing_mm = 0.0);
+
+/// The five Table III benchmark cases (fixed seeds, 40x40 mm interposer).
+std::vector<ChipletSystem> make_table3_cases();
+
+}  // namespace rlplan::systems

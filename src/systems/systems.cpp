@@ -1,0 +1,110 @@
+#include "systems/systems.h"
+
+namespace rlplan::systems {
+
+ChipletSystem make_multi_gpu_system() {
+  std::vector<Chiplet> chiplets = {
+      {"gpu0", 12.0, 12.0, 75.0},   // 0
+      {"gpu1", 12.0, 12.0, 75.0},   // 1
+      {"gpu2", 12.0, 12.0, 75.0},   // 2
+      {"gpu3", 12.0, 12.0, 75.0},   // 3
+      {"switch", 8.0, 8.0, 15.0},   // 4
+      {"hbm0", 7.0, 11.0, 8.0},     // 5
+      {"hbm1", 7.0, 11.0, 8.0},     // 6
+      {"hbm2", 7.0, 11.0, 8.0},     // 7
+      {"hbm3", 7.0, 11.0, 8.0},     // 8
+  };
+  std::vector<InterChipletNet> nets = {
+      // GPU <-> central switch crossbar links.
+      {0, 4, 768},
+      {1, 4, 768},
+      {2, 4, 768},
+      {3, 4, 768},
+      // GPU <-> paired HBM stack (wide DRAM interfaces).
+      {0, 5, 1024},
+      {1, 6, 1024},
+      {2, 7, 1024},
+      {3, 8, 1024},
+      // GPU ring for peer-to-peer traffic.
+      {0, 1, 256},
+      {1, 2, 256},
+      {2, 3, 256},
+      {3, 0, 256},
+  };
+  ChipletSystem system("multi-gpu", 52.0, 52.0, std::move(chiplets),
+                       std::move(nets));
+  system.validate();
+  return system;
+}
+
+ChipletSystem make_cpu_dram_system() {
+  std::vector<Chiplet> chiplets = {
+      {"cpu0", 10.0, 10.0, 40.0},  // 0
+      {"cpu1", 10.0, 10.0, 40.0},  // 1
+      {"cpu2", 10.0, 10.0, 40.0},  // 2
+      {"cpu3", 10.0, 10.0, 40.0},  // 3
+      {"cpu4", 10.0, 10.0, 40.0},  // 4
+      {"cpu5", 10.0, 10.0, 40.0},  // 5
+      {"dram0", 8.0, 11.0, 7.0},   // 6
+      {"dram1", 8.0, 11.0, 7.0},   // 7
+      {"dram2", 8.0, 11.0, 7.0},   // 8
+      {"dram3", 8.0, 11.0, 7.0},   // 9
+      {"iohub", 6.0, 6.0, 14.0},   // 10
+  };
+  std::vector<InterChipletNet> nets;
+  // Disintegration keeps the all-to-all core-to-memory fabric: every core
+  // cluster reaches every DRAM stack through the interposer.
+  for (std::size_t cpu = 0; cpu < 6; ++cpu) {
+    for (std::size_t dram = 6; dram < 10; ++dram) {
+      nets.push_back({cpu, dram, 256});
+    }
+  }
+  // Core-to-core coherence ring.
+  for (std::size_t cpu = 0; cpu < 6; ++cpu) {
+    nets.push_back({cpu, (cpu + 1) % 6, 128});
+  }
+  // Every core talks to the I/O hub.
+  for (std::size_t cpu = 0; cpu < 6; ++cpu) {
+    nets.push_back({cpu, 10, 64});
+  }
+  ChipletSystem system("cpu-dram", 48.0, 48.0, std::move(chiplets),
+                       std::move(nets));
+  system.validate();
+  return system;
+}
+
+ChipletSystem make_ascend910_system() {
+  std::vector<Chiplet> chiplets = {
+      {"virtuvian", 26.0, 18.0, 96.0},  // 0: AI compute die
+      {"nimbus", 14.0, 12.0, 12.0},     // 1: I/O + network die
+      {"hbm0", 11.0, 8.0, 5.5},         // 2
+      {"hbm1", 11.0, 8.0, 5.5},         // 3
+      {"hbm2", 11.0, 8.0, 5.5},         // 4
+      {"hbm3", 11.0, 8.0, 5.5},         // 5
+      {"dummy0", 6.0, 8.0, 0.0},        // 6: mechanical filler die
+      {"dummy1", 6.0, 8.0, 0.0},        // 7
+  };
+  std::vector<InterChipletNet> nets = {
+      // Compute die to each HBM stack (wide interfaces).
+      {0, 2, 1024},
+      {0, 3, 1024},
+      {0, 4, 1024},
+      {0, 5, 1024},
+      // Compute die to the I/O die.
+      {0, 1, 384},
+  };
+  ChipletSystem system("ascend910", 45.0, 32.0, std::move(chiplets),
+                       std::move(nets));
+  system.validate();
+  return system;
+}
+
+std::vector<ChipletSystem> make_benchmark_systems() {
+  std::vector<ChipletSystem> systems;
+  systems.push_back(make_multi_gpu_system());
+  systems.push_back(make_cpu_dram_system());
+  systems.push_back(make_ascend910_system());
+  return systems;
+}
+
+}  // namespace rlplan::systems

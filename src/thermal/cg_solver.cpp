@@ -1,0 +1,72 @@
+#include "thermal/cg_solver.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rlplan::thermal {
+
+namespace {
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+}  // namespace
+
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& options) {
+  const std::size_t n = a.rows();
+  assert(b.size() == n && x.size() == n);
+
+  const std::vector<double> diag = a.diagonal();
+  std::vector<double> inv_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_diag[i] = diag[i] != 0.0 ? 1.0 / diag[i] : 1.0;
+  }
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  const double b_norm = std::sqrt(dot(b, b));
+  const double stop = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  CgResult result;
+  double r_norm = std::sqrt(dot(r, r));
+  if (r_norm <= stop) {
+    result.converged = true;
+    result.relative_residual = b_norm > 0.0 ? r_norm / b_norm : 0.0;
+    return result;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // loss of positive-definiteness (numerical)
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    r_norm = std::sqrt(dot(r, r));
+    result.iterations = iter;
+    if (r_norm <= stop) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+
+  result.relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+  return result;
+}
+
+}  // namespace rlplan::thermal

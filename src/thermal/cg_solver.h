@@ -1,0 +1,28 @@
+// Jacobi-preconditioned conjugate gradient for SPD thermal systems.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "thermal/sparse.h"
+
+namespace rlplan::thermal {
+
+struct CgOptions {
+  double tolerance = 1e-8;   ///< relative residual ||r|| / ||b||
+  std::size_t max_iterations = 5000;
+};
+
+struct CgResult {
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD A with Jacobi (diagonal) preconditioning.
+/// `x` is both the initial guess (warm start) and the output.
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& options = {});
+
+}  // namespace rlplan::thermal

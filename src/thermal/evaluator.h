@@ -1,0 +1,74 @@
+// Pluggable thermal-evaluation interface.
+//
+// Both optimizers (RLPlanner's reward calculator and the TAP-2.5D SA
+// baseline) only need "peak temperature of this placement". Injecting either
+// the ground-truth grid solver or the fast LTI model reproduces the paper's
+// four method configurations (Table I / Table III) without code changes.
+#pragma once
+
+#include <string>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "thermal/fast_model.h"
+#include "thermal/grid_solver.h"
+
+namespace rlplan::thermal {
+
+class ThermalEvaluator {
+ public:
+  virtual ~ThermalEvaluator() = default;
+
+  /// Peak chiplet temperature (deg C) of the placement.
+  virtual double max_temperature(const ChipletSystem& system,
+                                 const Floorplan& floorplan) = 0;
+
+  /// Evaluations performed so far (budget accounting in benches).
+  virtual long num_evaluations() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Ground-truth adapter ("HotSpot" configuration).
+class GridSolverEvaluator final : public ThermalEvaluator {
+ public:
+  /// `stack` must outlive the evaluator.
+  explicit GridSolverEvaluator(const LayerStack& stack,
+                               GridSolverConfig config = {})
+      : solver_(stack, config) {}
+
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    return solver_.solve(system, floorplan).max_temp_c;
+  }
+  long num_evaluations() const override { return solver_.num_solves(); }
+  std::string name() const override { return "grid-solver"; }
+
+  GridThermalSolver& solver() { return solver_; }
+
+ private:
+  GridThermalSolver solver_;
+};
+
+/// Fast-model adapter ("fast thermal model" configuration).
+class FastModelEvaluator final : public ThermalEvaluator {
+ public:
+  explicit FastModelEvaluator(FastThermalModel model)
+      : model_(std::move(model)) {}
+
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    ++count_;
+    return model_.evaluate(system, floorplan).max_temp_c;
+  }
+  long num_evaluations() const override { return count_; }
+  std::string name() const override { return "fast-model"; }
+
+  const FastThermalModel& model() const { return model_; }
+
+ private:
+  FastThermalModel model_;
+  long count_ = 0;
+};
+
+}  // namespace rlplan::thermal

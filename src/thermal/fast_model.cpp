@@ -1,0 +1,222 @@
+#include "thermal/fast_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace rlplan::thermal {
+
+FastThermalModel::FastThermalModel(SelfResistanceTable self_table,
+                                   MutualResistanceTable mutual_table,
+                                   double ambient_c, FastModelConfig config)
+    : self_table_(std::move(self_table)),
+      mutual_table_(std::move(mutual_table)),
+      ambient_c_(ambient_c),
+      config_(config) {
+  if (config_.source_subsamples < 1) {
+    throw std::invalid_argument("FastModelConfig: source_subsamples >= 1");
+  }
+}
+
+double FastThermalModel::decay_kernel(double distance_mm) const {
+  return std::max(mutual_table_.lookup(distance_mm) - uniform_floor_, 0.0);
+}
+
+double FastThermalModel::image_kernel(const Point& src,
+                                      const Point& probe) const {
+  // Direct term plus first-order reflections: 4 side mirrors and 4 corner
+  // double-mirrors of the source about the package edges. The convective
+  // boundary is not a perfect adiabatic mirror, so reflections are damped.
+  const double kReflectivity = config_.image_reflectivity;
+  const double w = package_w_mm_;
+  const double h = package_h_mm_;
+  double k = decay_kernel(euclidean(src, probe));
+  const double mx[2] = {-src.x, 2.0 * w - src.x};        // mirror in x
+  const double my[2] = {-src.y, 2.0 * h - src.y};        // mirror in y
+  for (double ix : mx) {
+    k += kReflectivity * decay_kernel(euclidean({ix, src.y}, probe));
+  }
+  for (double iy : my) {
+    k += kReflectivity * decay_kernel(euclidean({src.x, iy}, probe));
+  }
+  for (double ix : mx) {
+    for (double iy : my) {
+      k += kReflectivity * kReflectivity *
+           decay_kernel(euclidean({ix, iy}, probe));
+    }
+  }
+  return uniform_floor_ + k;
+}
+
+namespace {
+
+/// Point-sample positions of an n x n sub-source grid over a footprint.
+void subsource_points(const Rect& src, int n, std::vector<Point>& out) {
+  out.clear();
+  if (n == 1) {
+    out.push_back(src.center());
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.push_back({src.x + (i + 0.5) * src.w / n,
+                     src.y + (j + 0.5) * src.h / n});
+    }
+  }
+}
+
+}  // namespace
+
+FastThermalResult FastThermalModel::evaluate(const ChipletSystem& system,
+                                             const Floorplan& floorplan) const {
+  if (empty()) {
+    throw std::logic_error("FastThermalModel: evaluate on empty model");
+  }
+  const Timer timer;
+  FastThermalResult result;
+  result.chiplet_temp_c.assign(system.num_chiplets(), ambient_c_);
+
+  const auto rects = floorplan.placed_rects();
+  for (std::size_t i = 0; i < system.num_chiplets(); ++i) {
+    if (!rects[i]) continue;
+    const Chiplet& chip = system.chiplet(i);
+    const Rect& ri = *rects[i];
+    // Orientation-aware lookup: the characterizer fills the full (w, h) grid,
+    // so rotated placements read the correct entry on rectangular interposers.
+    double r_self = self_table_.lookup(ri.w, ri.h);
+    const Point ci = ri.center();
+    if (config_.use_images) {
+      // Off-center self heating: the die couples to its own mirror images.
+      // The centered characterization already contains the (negligible)
+      // center-position images, so only the *excess* relative to the
+      // centered position is added.
+      const Point cc{package_w_mm_ / 2.0, package_h_mm_ / 2.0};
+      const double self_images =
+          image_kernel(ci, ci) - decay_kernel(0.0) - uniform_floor_;
+      const double center_images =
+          image_kernel(cc, cc) - decay_kernel(0.0) - uniform_floor_;
+      r_self += self_images - center_images;
+    } else if (!position_correction_.empty()) {
+      r_self *= position_correction_.lookup(ci.x, ci.y);
+    }
+    const double self_rise = r_self * chip.power;
+    const double c_dst = position_correction_.empty()
+                             ? 1.0
+                             : position_correction_.lookup(ci.x, ci.y);
+
+    // Probe the total field at an n x n grid inside the footprint; the
+    // die's peak cell is wherever self heating plus neighbour coupling is
+    // strongest. The self term droops toward the die corners by the
+    // characterized ratio d(w, h).
+    const int np = std::max(config_.receiver_probes, 1);
+    const double droop =
+        self_droop_.empty() ? 1.0 : self_droop_.lookup(ri.w, ri.h);
+    std::vector<Point> subsources;
+    double worst = 0.0;
+    for (int pi = 0; pi < np; ++pi) {
+      for (int pj = 0; pj < np; ++pj) {
+        const Point probe =
+            np == 1 ? ci
+                    : Point{ri.x + (pi + 0.5) * ri.w / np,
+                            ri.y + (pj + 0.5) * ri.h / np};
+        // Normalized square radius in [0, 1]: 0 at center, 1 at corners.
+        const double rx = (probe.x - ci.x) / (ri.w / 2.0);
+        const double ry = (probe.y - ci.y) / (ri.h / 2.0);
+        const double rho2 = std::min(1.0, (rx * rx + ry * ry) / 2.0);
+        const double shape = 1.0 - (1.0 - droop) * rho2;
+
+        double mutual = 0.0;
+        for (std::size_t j = 0; j < system.num_chiplets(); ++j) {
+          if (j == i || !rects[j]) continue;
+          const double power = system.chiplet(j).power;
+          if (power <= 0.0) continue;
+          subsource_points(*rects[j], config_.source_subsamples, subsources);
+          double m = 0.0;
+          for (const Point& s : subsources) {
+            m += config_.use_images
+                     ? image_kernel(s, probe)
+                     : mutual_table_.lookup(euclidean(s, probe));
+          }
+          m *= power / static_cast<double>(subsources.size());
+          if (config_.correct_mutual && !position_correction_.empty()) {
+            const Point sc = rects[j]->center();
+            const double c_src = position_correction_.lookup(sc.x, sc.y);
+            m *= std::sqrt(c_src * c_dst);
+          }
+          mutual += m;
+        }
+        worst = std::max(worst, self_rise * shape + mutual);
+      }
+    }
+    result.chiplet_temp_c[i] = ambient_c_ + worst;
+  }
+
+  result.max_temp_c = ambient_c_;
+  for (double t : result.chiplet_temp_c) {
+    result.max_temp_c = std::max(result.max_temp_c, t);
+  }
+  result.eval_seconds = timer.seconds();
+  return result;
+}
+
+double FastThermalModel::chiplet_temperature(const ChipletSystem& system,
+                                             const Floorplan& floorplan,
+                                             std::size_t chiplet) const {
+  return evaluate(system, floorplan).chiplet_temp_c.at(chiplet);
+}
+
+void FastThermalModel::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("FastThermalModel: cannot open " + path);
+  os << "fast_thermal_model v2\n";
+  os.precision(17);
+  os << ambient_c_ << ' ' << config_.source_subsamples << ' '
+     << config_.receiver_probes << ' ' << (config_.correct_mutual ? 1 : 0)
+     << ' ' << (config_.use_images ? 1 : 0) << ' '
+     << config_.image_reflectivity << ' ' << package_w_mm_ << ' '
+     << package_h_mm_ << ' ' << uniform_floor_ << ' '
+     << (position_correction_.empty() ? 0 : 1) << ' '
+     << (self_droop_.empty() ? 0 : 1) << '\n';
+  self_table_.save(os);
+  mutual_table_.save(os);
+  if (!position_correction_.empty()) position_correction_.save(os);
+  if (!self_droop_.empty()) self_droop_.save(os);
+}
+
+FastThermalModel FastThermalModel::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("FastThermalModel: cannot open " + path);
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "fast_thermal_model" || version != "v2") {
+    throw std::runtime_error("FastThermalModel: bad header in " + path);
+  }
+  double ambient = 0.0;
+  int correct_mutual = 0;
+  int use_images = 0;
+  int has_correction = 0;
+  int has_droop = 0;
+  double pkg_w = 0.0, pkg_h = 0.0, floor = 0.0;
+  FastModelConfig config;
+  is >> ambient >> config.source_subsamples >> config.receiver_probes >>
+      correct_mutual >> use_images >> config.image_reflectivity >> pkg_w >>
+      pkg_h >> floor >> has_correction >> has_droop;
+  config.correct_mutual = correct_mutual != 0;
+  config.use_images = use_images != 0;
+  auto self = SelfResistanceTable::load(is);
+  auto mutual = MutualResistanceTable::load(is);
+  FastThermalModel model(std::move(self), std::move(mutual), ambient, config);
+  model.set_image_params(pkg_w, pkg_h, floor);
+  if (has_correction != 0) {
+    model.set_position_correction(BilinearTable2D::load(is));
+  }
+  if (has_droop != 0) {
+    model.set_self_droop(BilinearTable2D::load(is));
+  }
+  return model;
+}
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,140 @@
+// Fast thermal evaluation (the paper's core thermal contribution).
+//
+// Treats the package thermal network as linear and time-invariant: the
+// temperature of chiplet i superposes its own heating (self-thermal
+// resistance, a 2D table over die footprint) and the heating caused by every
+// other die (mutual-thermal resistance, a 1D table over center-to-center
+// distance):
+//
+//   T_i = T_ambient + R_self(w_i, h_i) * P_i + sum_{j != i} R_mutual(d_ij) * P_j
+//
+// Evaluation is a handful of table lookups per chiplet — this is where the
+// paper's 127x speed-up over full HotSpot solves comes from. The model is
+// approximate because the real network is *not* exactly LTI in placement:
+// chiplet-layer conductivity depends on where every die sits, and dies near
+// interposer edges spread heat worse than the center-characterized tables
+// assume. Table II quantifies exactly this error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "thermal/resistance_table.h"
+
+namespace rlplan::thermal {
+
+struct FastModelConfig {
+  /// Sub-sample each source die as n x n point sources for the mutual term
+  /// (1 = paper-faithful single center source; >1 trades speed for accuracy
+  /// on physically large dies). Swept by bench/ablation_tables.
+  int source_subsamples = 2;
+  /// Evaluate the receiver's temperature at an n x n grid of probe points
+  /// inside its footprint and take the maximum ("distance between power
+  /// source and grid location" per the paper). With 1, only the die center
+  /// is probed, which underestimates dies whose hottest cell is the edge
+  /// facing a hot neighbour.
+  int receiver_probes = 3;
+  /// Also scale the mutual term by sqrt(C(src) * C(dst)) when a position-
+  /// correction table is installed. Off by default: measurement shows the
+  /// far-field coupling is a package-level effect already captured by the
+  /// distance table, and this correction overcompensates (see
+  /// bench/ablation_tables).
+  bool correct_mutual = false;
+  /// Method-of-images boundary handling: decompose the characterized kernel
+  /// into a uniform package-level floor plus a decaying free-field part, and
+  /// superpose first-order mirror sources across the four package edges (and
+  /// corner double-mirrors). Captures the boundary reflections a plain 1D
+  /// distance table smears away. Applies to the mutual term and, through
+  /// self-images, to off-center self heating.
+  bool use_images = true;
+  /// Mirror-source weight. The grid model's package rim is adiabatic, so
+  /// full-strength reflections (1.0) are physically correct; lower values
+  /// model convectively-cooled rims. Swept by bench/ablation_tables.
+  double image_reflectivity = 1.0;
+};
+
+struct FastThermalResult {
+  double max_temp_c = 0.0;
+  std::vector<double> chiplet_temp_c;
+  double eval_seconds = 0.0;
+};
+
+class FastThermalModel {
+ public:
+  FastThermalModel() = default;
+  FastThermalModel(SelfResistanceTable self_table,
+                   MutualResistanceTable mutual_table, double ambient_c,
+                   FastModelConfig config = {});
+
+  bool empty() const { return self_table_.empty() || mutual_table_.empty(); }
+  double ambient_c() const { return ambient_c_; }
+  const SelfResistanceTable& self_table() const { return self_table_; }
+  const MutualResistanceTable& mutual_table() const { return mutual_table_; }
+  const FastModelConfig& config() const { return config_; }
+
+  /// Installs the optional position-correction factor table C(cx, cy):
+  /// the self term becomes R_self(w, h) * C(center). An empty table (the
+  /// default) means no correction — the paper-minimal configuration.
+  void set_position_correction(BilinearTable2D table) {
+    position_correction_ = std::move(table);
+  }
+  const BilinearTable2D& position_correction() const {
+    return position_correction_;
+  }
+  bool has_position_correction() const {
+    return !position_correction_.empty();
+  }
+
+  /// Installs the optional within-die droop table d(w, h) = corner rise /
+  /// peak rise of an isolated die, used to attenuate the self term at
+  /// off-center receiver probes. Empty (default) = no attenuation.
+  void set_self_droop(BilinearTable2D table) {
+    self_droop_ = std::move(table);
+  }
+  const BilinearTable2D& self_droop() const { return self_droop_; }
+
+  /// Method-of-images geometry/floor (required when config.use_images):
+  /// package extent in mm and the uniform rise floor in K/W that the
+  /// decaying kernel sits on.
+  void set_image_params(double package_w_mm, double package_h_mm,
+                        double uniform_floor_k_per_w) {
+    package_w_mm_ = package_w_mm;
+    package_h_mm_ = package_h_mm;
+    uniform_floor_ = uniform_floor_k_per_w;
+  }
+  double uniform_floor() const { return uniform_floor_; }
+
+  /// Evaluates all placed chiplets' temperatures; unplaced chiplets read
+  /// ambient and contribute no mutual heating.
+  FastThermalResult evaluate(const ChipletSystem& system,
+                             const Floorplan& floorplan) const;
+
+  /// Temperature of a single chiplet (same formula, one row of evaluate()).
+  double chiplet_temperature(const ChipletSystem& system,
+                             const Floorplan& floorplan,
+                             std::size_t chiplet) const;
+
+  void save(const std::string& path) const;
+  static FastThermalModel load(const std::string& path);
+
+ private:
+  /// Decaying kernel: table value minus the uniform floor, clamped >= 0.
+  double decay_kernel(double distance_mm) const;
+  /// Kernel evaluated source -> probe including first-order mirror images.
+  double image_kernel(const Point& src, const Point& probe) const;
+
+  SelfResistanceTable self_table_;
+  MutualResistanceTable mutual_table_;
+  BilinearTable2D position_correction_;  // empty = disabled
+  BilinearTable2D self_droop_;           // empty = disabled
+  double ambient_c_ = 45.0;
+  double package_w_mm_ = 0.0;
+  double package_h_mm_ = 0.0;
+  double uniform_floor_ = 0.0;  // K/W
+  FastModelConfig config_{};
+};
+
+}  // namespace rlplan::thermal

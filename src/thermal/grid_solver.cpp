@@ -1,0 +1,117 @@
+#include "thermal/grid_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace rlplan::thermal {
+
+ThermalField::ThermalField(std::size_t layers, GridDims dims,
+                           std::vector<double> temps_c)
+    : layers_(layers), dims_(dims), temps_c_(std::move(temps_c)) {}
+
+double ThermalField::layer_max(std::size_t layer) const {
+  double m = temps_c_.at(layer * dims_.cells());
+  for (std::size_t i = 0; i < dims_.cells(); ++i) {
+    m = std::max(m, temps_c_[layer * dims_.cells() + i]);
+  }
+  return m;
+}
+
+GridThermalSolver::GridThermalSolver(const LayerStack& stack,
+                                     GridSolverConfig config)
+    : stack_(&stack), config_(config) {
+  stack.validate();
+}
+
+ThermalResult GridThermalSolver::solve(const ChipletSystem& system,
+                                       const Floorplan& floorplan) {
+  return solve_impl(system, floorplan, nullptr);
+}
+
+ThermalResult GridThermalSolver::solve_with_field(const ChipletSystem& system,
+                                                  const Floorplan& floorplan,
+                                                  ThermalField& field_out) {
+  return solve_impl(system, floorplan, &field_out);
+}
+
+ThermalResult GridThermalSolver::solve_impl(const ChipletSystem& system,
+                                            const Floorplan& floorplan,
+                                            ThermalField* field_out) {
+  const Timer timer;
+  ThermalGridModel model(*stack_, system, config_.dims);
+  const SparseMatrix g = model.build_conductance(floorplan);
+  const std::vector<double> p = model.build_power(floorplan);
+
+  std::vector<double> dt(model.num_nodes(), 0.0);
+  if (config_.warm_start && last_solution_.size() == dt.size()) {
+    dt = last_solution_;
+  }
+
+  ThermalResult result;
+  result.cg = conjugate_gradient(g, p, dt, config_.cg);
+  ++num_solves_;
+  if (config_.warm_start) last_solution_ = dt;
+
+  const double ambient = stack_->ambient_c();
+  std::vector<double> temps_c(dt.size());
+  for (std::size_t i = 0; i < dt.size(); ++i) temps_c[i] = ambient + dt[i];
+
+  const ThermalField field(stack_->num_layers(), config_.dims,
+                           std::move(temps_c));
+  const std::size_t chiplet_layer = stack_->chiplet_layer_index();
+  result.chiplet_temp_c =
+      chiplet_peak_temps(field, model, system, floorplan, chiplet_layer);
+
+  result.max_temp_c = ambient;
+  for (double t : result.chiplet_temp_c) {
+    result.max_temp_c = std::max(result.max_temp_c, t);
+  }
+  result.solve_seconds = timer.seconds();
+  if (field_out != nullptr) *field_out = field;
+  return result;
+}
+
+std::vector<double> chiplet_peak_temps(const ThermalField& field,
+                                       const ThermalGridModel& model,
+                                       const ChipletSystem& system,
+                                       const Floorplan& floorplan,
+                                       std::size_t chiplet_layer) {
+  const GridDims dims = model.dims();
+  std::vector<double> temps(system.num_chiplets(),
+                            field.raw().empty() ? 0.0 : 0.0);
+  for (std::size_t i = 0; i < system.num_chiplets(); ++i) {
+    if (!floorplan.is_placed(i)) {
+      temps[i] = field.at(chiplet_layer, 0, 0);  // ~ambient baseline
+      continue;
+    }
+    const Rect r = floorplan.rect_of(i);
+    double peak = -1e300;
+    bool found = false;
+    for (std::size_t row = 0; row < dims.rows; ++row) {
+      for (std::size_t col = 0; col < dims.cols; ++col) {
+        if (model.coverage_fraction(row, col, r) < 0.5) continue;
+        peak = std::max(peak, field.at(chiplet_layer, row, col));
+        found = true;
+      }
+    }
+    if (!found) {
+      // Footprint smaller than one cell: take the cell containing the center.
+      const Point c = r.center();
+      const double cw =
+          system.interposer_width() / static_cast<double>(dims.cols);
+      const double ch =
+          system.interposer_height() / static_cast<double>(dims.rows);
+      const auto col = static_cast<std::size_t>(std::clamp(
+          std::floor(c.x / cw), 0.0, static_cast<double>(dims.cols - 1)));
+      const auto row = static_cast<std::size_t>(std::clamp(
+          std::floor(c.y / ch), 0.0, static_cast<double>(dims.rows - 1)));
+      peak = field.at(chiplet_layer, row, col);
+    }
+    temps[i] = peak;
+  }
+  return temps;
+}
+
+}  // namespace rlplan::thermal

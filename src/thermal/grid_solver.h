@@ -1,0 +1,104 @@
+// Steady-state thermal solver facade — the repository's "HotSpot".
+//
+// GridThermalSolver plays the role HotSpot 6.0 plays in the paper: the
+// accurate-but-expensive ground truth that (a) the SA baseline queries in its
+// inner loop and (b) the fast thermal model is characterized against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "thermal/cg_solver.h"
+#include "thermal/grid_model.h"
+#include "thermal/layer_stack.h"
+
+namespace rlplan::thermal {
+
+/// Full temperature field over all layers (degrees Celsius, absolute).
+class ThermalField {
+ public:
+  ThermalField() = default;
+  ThermalField(std::size_t layers, GridDims dims, std::vector<double> temps_c);
+
+  std::size_t layers() const { return layers_; }
+  GridDims dims() const { return dims_; }
+
+  double at(std::size_t layer, std::size_t row, std::size_t col) const {
+    return temps_c_.at(layer * dims_.cells() + row * dims_.cols + col);
+  }
+
+  const std::vector<double>& raw() const { return temps_c_; }
+
+  /// Maximum temperature within one layer.
+  double layer_max(std::size_t layer) const;
+
+ private:
+  std::size_t layers_ = 0;
+  GridDims dims_;
+  std::vector<double> temps_c_;
+};
+
+/// Per-chiplet and system-level result of one steady-state solve.
+struct ThermalResult {
+  double max_temp_c = 0.0;  ///< peak chiplet temperature (the paper's T)
+  std::vector<double> chiplet_temp_c;  ///< per-chiplet peak temperature
+  CgResult cg;
+  double solve_seconds = 0.0;
+};
+
+struct GridSolverConfig {
+  GridDims dims{48, 48};
+  CgOptions cg{};
+  /// Reuse the previous temperature field as the CG starting point when the
+  /// grid shape matches (big win inside SA loops with incremental moves).
+  bool warm_start = true;
+};
+
+/// Thermal "ground truth". Not thread-safe (warm-start cache); use one
+/// instance per thread.
+class GridThermalSolver {
+ public:
+  /// `stack` must outlive the solver.
+  explicit GridThermalSolver(const LayerStack& stack,
+                             GridSolverConfig config = {});
+
+  const LayerStack& stack() const { return *stack_; }
+  const GridSolverConfig& config() const { return config_; }
+
+  /// Solves the placement and reports per-chiplet peak temperatures.
+  /// Unplaced chiplets get ambient temperature.
+  ThermalResult solve(const ChipletSystem& system, const Floorplan& floorplan);
+
+  /// As solve(), additionally returning the full field (characterization).
+  ThermalResult solve_with_field(const ChipletSystem& system,
+                                 const Floorplan& floorplan,
+                                 ThermalField& field_out);
+
+  /// Number of linear solves performed so far (budget accounting).
+  long num_solves() const { return num_solves_; }
+
+  void reset_warm_start() { last_solution_.clear(); }
+
+ private:
+  ThermalResult solve_impl(const ChipletSystem& system,
+                           const Floorplan& floorplan,
+                           ThermalField* field_out);
+
+  const LayerStack* stack_;
+  GridSolverConfig config_;
+  std::vector<double> last_solution_;  // delta-T, warm start cache
+  long num_solves_ = 0;
+};
+
+/// Extracts per-chiplet peak temperature (deg C) from a solved field:
+/// max over chiplet-layer cells overlapping the footprint. Ambient for
+/// unplaced chiplets.
+std::vector<double> chiplet_peak_temps(const ThermalField& field,
+                                       const ThermalGridModel& model,
+                                       const ChipletSystem& system,
+                                       const Floorplan& floorplan,
+                                       std::size_t chiplet_layer);
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,68 @@
+#include "thermal/layer_stack.h"
+
+#include <stdexcept>
+
+namespace rlplan::thermal {
+
+LayerStack::LayerStack(std::vector<Layer> layers, Material fill, double h_top,
+                       double h_bottom, double ambient_c)
+    : layers_(std::move(layers)),
+      fill_(std::move(fill)),
+      h_top_(h_top),
+      h_bottom_(h_bottom),
+      ambient_c_(ambient_c) {}
+
+LayerStack LayerStack::default_2p5d() {
+  std::vector<Layer> layers = {
+      {"interposer", 100e-6, interposer_silicon(), false},
+      {"chiplets", 150e-6, silicon(), true},
+      {"tim", 50e-6, tim(), false},
+      {"spreader", 1e-3, copper(), false},
+      {"sink", 5e-3, aluminum(), false},
+  };
+  // h_top ~ 2800 W/m^2K: strong forced-air sink over the package footprint.
+  // h_bottom ~ 40 W/m^2K: weak leakage into the board.
+  return LayerStack(std::move(layers), underfill(), 2800.0, 40.0, 45.0);
+}
+
+std::size_t LayerStack::chiplet_layer_index() const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].is_chiplet_layer) return i;
+  }
+  throw std::logic_error("LayerStack: no chiplet layer");
+}
+
+void LayerStack::validate() const {
+  if (layers_.empty()) {
+    throw std::invalid_argument("LayerStack: empty");
+  }
+  std::size_t chiplet_layers = 0;
+  for (const auto& l : layers_) {
+    if (l.thickness <= 0.0) {
+      throw std::invalid_argument("Layer '" + l.name +
+                                  "': non-positive thickness");
+    }
+    if (l.material.conductivity <= 0.0) {
+      throw std::invalid_argument("Layer '" + l.name +
+                                  "': non-positive conductivity");
+    }
+    if (l.is_chiplet_layer) ++chiplet_layers;
+  }
+  if (chiplet_layers != 1) {
+    throw std::invalid_argument(
+        "LayerStack: exactly one chiplet layer required");
+  }
+  if (fill_.conductivity <= 0.0) {
+    throw std::invalid_argument("LayerStack: fill conductivity must be > 0");
+  }
+  if (h_top_ <= 0.0) {
+    throw std::invalid_argument(
+        "LayerStack: top convection coefficient must be > 0");
+  }
+  if (h_bottom_ < 0.0) {
+    throw std::invalid_argument(
+        "LayerStack: bottom coefficient must be >= 0");
+  }
+}
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,35 @@
+// Thermal material properties.
+//
+// Conductivities follow HotSpot 6.0 defaults and common packaging literature.
+// Only steady-state analysis is performed, so heat capacity is omitted.
+#pragma once
+
+#include <string>
+
+namespace rlplan::thermal {
+
+/// Homogeneous isotropic material (steady-state: conductivity only).
+struct Material {
+  std::string name;
+  double conductivity = 0.0;  ///< W / (m K)
+};
+
+/// Bulk silicon (die body). HotSpot default k = 100 W/mK at ~85C.
+inline Material silicon() { return {"silicon", 100.0}; }
+
+/// Capillary underfill / epoxy molding between dies on the chiplet layer.
+inline Material underfill() { return {"underfill", 0.9}; }
+
+/// Thermal interface material between die backside and heat spreader.
+inline Material tim() { return {"TIM", 4.0}; }
+
+/// Copper heat spreader.
+inline Material copper() { return {"copper", 400.0}; }
+
+/// Aluminum heat-sink base plate.
+inline Material aluminum() { return {"aluminum", 205.0}; }
+
+/// Silicon interposer (TSV-perforated; effective k slightly below bulk).
+inline Material interposer_silicon() { return {"interposer-Si", 90.0}; }
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,150 @@
+#include "thermal/resistance_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rlplan::thermal {
+
+namespace table_detail {
+
+void check_axis(const std::vector<double>& axis, const std::string& name) {
+  if (axis.size() < 2) {
+    throw std::invalid_argument("resistance table axis '" + name +
+                                "' needs >= 2 entries");
+  }
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    if (axis[i] <= axis[i - 1]) {
+      throw std::invalid_argument("resistance table axis '" + name +
+                                  "' must be strictly increasing");
+    }
+  }
+}
+
+std::size_t segment_index(const std::vector<double>& axis, double x) {
+  if (x <= axis.front()) return 0;
+  if (x >= axis.back()) return axis.size() - 2;
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  return static_cast<std::size_t>(it - axis.begin()) - 1;
+}
+
+}  // namespace table_detail
+
+SelfResistanceTable::SelfResistanceTable(
+    std::vector<double> widths, std::vector<double> heights,
+    std::vector<std::vector<double>> values)
+    : widths_(std::move(widths)),
+      heights_(std::move(heights)),
+      values_(std::move(values)) {
+  table_detail::check_axis(widths_, "widths");
+  table_detail::check_axis(heights_, "heights");
+  if (values_.size() != widths_.size()) {
+    throw std::invalid_argument("self table: values rows != widths");
+  }
+  for (const auto& row : values_) {
+    if (row.size() != heights_.size()) {
+      throw std::invalid_argument("self table: values cols != heights");
+    }
+  }
+}
+
+double SelfResistanceTable::lookup(double width_mm, double height_mm) const {
+  if (empty()) {
+    throw std::logic_error("SelfResistanceTable: lookup on empty table");
+  }
+  const double w = std::clamp(width_mm, widths_.front(), widths_.back());
+  const double h = std::clamp(height_mm, heights_.front(), heights_.back());
+  const std::size_t i = table_detail::segment_index(widths_, w);
+  const std::size_t j = table_detail::segment_index(heights_, h);
+  const double tw = (w - widths_[i]) / (widths_[i + 1] - widths_[i]);
+  const double th = (h - heights_[j]) / (heights_[j + 1] - heights_[j]);
+  const double v00 = values_[i][j];
+  const double v10 = values_[i + 1][j];
+  const double v01 = values_[i][j + 1];
+  const double v11 = values_[i + 1][j + 1];
+  return (1.0 - tw) * (1.0 - th) * v00 + tw * (1.0 - th) * v10 +
+         (1.0 - tw) * th * v01 + tw * th * v11;
+}
+
+void SelfResistanceTable::save(std::ostream& os) const {
+  os << "self_resistance_table v1\n";
+  os << widths_.size() << ' ' << heights_.size() << '\n';
+  os.precision(17);
+  for (double w : widths_) os << w << ' ';
+  os << '\n';
+  for (double h : heights_) os << h << ' ';
+  os << '\n';
+  for (const auto& row : values_) {
+    for (double v : row) os << v << ' ';
+    os << '\n';
+  }
+}
+
+SelfResistanceTable SelfResistanceTable::load(std::istream& is) {
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "self_resistance_table" || version != "v1") {
+    throw std::runtime_error("SelfResistanceTable: bad header");
+  }
+  std::size_t nw = 0, nh = 0;
+  is >> nw >> nh;
+  std::vector<double> widths(nw), heights(nh);
+  for (auto& w : widths) is >> w;
+  for (auto& h : heights) is >> h;
+  std::vector<std::vector<double>> values(nw, std::vector<double>(nh));
+  for (auto& row : values) {
+    for (auto& v : row) is >> v;
+  }
+  if (!is) throw std::runtime_error("SelfResistanceTable: truncated data");
+  return SelfResistanceTable(std::move(widths), std::move(heights),
+                             std::move(values));
+}
+
+MutualResistanceTable::MutualResistanceTable(std::vector<double> distances_mm,
+                                             std::vector<double> values)
+    : distances_(std::move(distances_mm)), values_(std::move(values)) {
+  table_detail::check_axis(distances_, "distances");
+  if (values_.size() != distances_.size()) {
+    throw std::invalid_argument("mutual table: values size != distances");
+  }
+}
+
+double MutualResistanceTable::lookup(double distance_mm) const {
+  if (empty()) {
+    throw std::logic_error("MutualResistanceTable: lookup on empty table");
+  }
+  const double d =
+      std::clamp(distance_mm, distances_.front(), distances_.back());
+  const std::size_t i = table_detail::segment_index(distances_, d);
+  const double t = (d - distances_[i]) / (distances_[i + 1] - distances_[i]);
+  return (1.0 - t) * values_[i] + t * values_[i + 1];
+}
+
+void MutualResistanceTable::save(std::ostream& os) const {
+  os << "mutual_resistance_table v1\n";
+  os << distances_.size() << '\n';
+  os.precision(17);
+  for (double d : distances_) os << d << ' ';
+  os << '\n';
+  for (double v : values_) os << v << ' ';
+  os << '\n';
+}
+
+MutualResistanceTable MutualResistanceTable::load(std::istream& is) {
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "mutual_resistance_table" || version != "v1") {
+    throw std::runtime_error("MutualResistanceTable: bad header");
+  }
+  std::size_t n = 0;
+  is >> n;
+  std::vector<double> distances(n), values(n);
+  for (auto& d : distances) is >> d;
+  for (auto& v : values) is >> v;
+  if (!is) throw std::runtime_error("MutualResistanceTable: truncated data");
+  return MutualResistanceTable(std::move(distances), std::move(values));
+}
+
+}  // namespace rlplan::thermal

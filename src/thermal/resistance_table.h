@@ -1,0 +1,87 @@
+// Thermal resistance lookup tables (the paper's Section II-C data
+// structures).
+//
+// SelfResistanceTable: 2D table R_self(width, height) in K/W — the peak
+// temperature rise of a die per watt of its own power, characterized with the
+// die centered on the interposer.
+//
+// MutualResistanceTable: 1D table R_mutual(distance) in K/W — temperature
+// rise at an observation point per watt dissipated by a reference source at
+// the given center-to-center distance.
+//
+// Both interpolate (bilinear / linear) and clamp outside the characterized
+// range. Tables serialize to a small text format so characterization can be
+// cached across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlplan::thermal {
+
+/// 2D bilinear-interpolated table over (width, height) in mm.
+class SelfResistanceTable {
+ public:
+  SelfResistanceTable() = default;
+  /// `values[i][j]` is R_self at (widths[i], heights[j]). Axes must be
+  /// strictly increasing with >= 2 entries each. Throws on malformed input.
+  SelfResistanceTable(std::vector<double> widths, std::vector<double> heights,
+                      std::vector<std::vector<double>> values);
+
+  bool empty() const { return widths_.empty(); }
+  const std::vector<double>& widths() const { return widths_; }
+  const std::vector<double>& heights() const { return heights_; }
+  double value_at(std::size_t i, std::size_t j) const {
+    return values_.at(i).at(j);
+  }
+
+  /// R_self(w, h) in K/W, bilinear, clamped to table boundary.
+  double lookup(double width_mm, double height_mm) const;
+
+  void save(std::ostream& os) const;
+  static SelfResistanceTable load(std::istream& is);
+
+ private:
+  std::vector<double> widths_;
+  std::vector<double> heights_;
+  std::vector<std::vector<double>> values_;  // [width index][height index]
+};
+
+/// 1D linear-interpolated table over center-to-center distance in mm.
+class MutualResistanceTable {
+ public:
+  MutualResistanceTable() = default;
+  /// Distances strictly increasing, >= 2 entries. Throws on malformed input.
+  MutualResistanceTable(std::vector<double> distances_mm,
+                        std::vector<double> values);
+
+  bool empty() const { return distances_.empty(); }
+  const std::vector<double>& distances() const { return distances_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// R_mutual(d) in K/W, linear, clamped at both ends.
+  double lookup(double distance_mm) const;
+
+  void save(std::ostream& os) const;
+  static MutualResistanceTable load(std::istream& is);
+
+ private:
+  std::vector<double> distances_;
+  std::vector<double> values_;
+};
+
+/// Generic 2D bilinear table alias: also used for the position-correction
+/// factor C(cx, cy) that scales R_self for dies placed off-center (boundary
+/// effects: the sink's lateral spreading length is ~20 mm, so edge dies
+/// spread heat over a truncated region and run hotter).
+using BilinearTable2D = SelfResistanceTable;
+
+namespace table_detail {
+/// Index i such that axis[i] <= x <= axis[i+1], clamped to valid segments.
+std::size_t segment_index(const std::vector<double>& axis, double x);
+/// Throws std::invalid_argument unless strictly increasing with >= 2 entries.
+void check_axis(const std::vector<double>& axis, const std::string& name);
+}  // namespace table_detail
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,119 @@
+#include "thermal/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rlplan::thermal {
+
+void SparseMatrix::add(std::size_t r, std::size_t c, double v) {
+  if (finalized_) {
+    throw std::logic_error("SparseMatrix::add after finalize");
+  }
+  assert(r < n_ && c < n_);
+  trip_row_.push_back(r);
+  trip_col_.push_back(c);
+  trip_val_.push_back(v);
+}
+
+void SparseMatrix::stamp_conductance(std::size_t a, std::size_t b, double g) {
+  add(a, a, g);
+  add(b, b, g);
+  add(a, b, -g);
+  add(b, a, -g);
+}
+
+void SparseMatrix::finalize() {
+  if (finalized_) return;
+
+  // Sort triplets by (row, col), then merge duplicates into CSR arrays.
+  std::vector<std::size_t> order(trip_row_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](std::size_t i, std::size_t j) {
+    if (trip_row_[i] != trip_row_[j]) return trip_row_[i] < trip_row_[j];
+    return trip_col_[i] < trip_col_[j];
+  });
+
+  col_idx_.clear();
+  values_.clear();
+  col_idx_.reserve(trip_row_.size());
+  values_.reserve(trip_row_.size());
+  std::vector<std::size_t> entry_row;
+  entry_row.reserve(trip_row_.size());
+
+  for (const std::size_t i : order) {
+    const std::size_t r = trip_row_[i];
+    const std::size_t c = trip_col_[i];
+    if (!entry_row.empty() && entry_row.back() == r && col_idx_.back() == c) {
+      values_.back() += trip_val_[i];
+    } else {
+      entry_row.push_back(r);
+      col_idx_.push_back(c);
+      values_.push_back(trip_val_[i]);
+    }
+  }
+
+  row_ptr_.assign(n_ + 1, 0);
+  for (const std::size_t r : entry_row) ++row_ptr_[r + 1];
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+
+  trip_row_.clear();
+  trip_row_.shrink_to_fit();
+  trip_col_.clear();
+  trip_col_.shrink_to_fit();
+  trip_val_.clear();
+  trip_val_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void SparseMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  assert(finalized_);
+  assert(x.size() == n_ && y.size() == n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<double> SparseMatrix::diagonal() const {
+  assert(finalized_);
+  std::vector<double> d(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) {
+        d[r] = values_[k];
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  assert(finalized_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+double SparseMatrix::symmetry_error() const {
+  assert(finalized_);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      worst = std::max(worst, std::abs(values_[k] - at(c, r)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,60 @@
+// Symmetric sparse matrix in CSR form for the thermal conductance system.
+//
+// The grid thermal model produces a weighted graph Laplacian plus positive
+// diagonal boundary terms — symmetric positive definite — assembled here from
+// triplets and consumed by the conjugate-gradient solver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rlplan::thermal {
+
+/// Compressed sparse row matrix. Built once from accumulated triplets;
+/// duplicate (row, col) entries are summed during finalization.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(std::size_t n = 0) : n_(n) {}
+
+  std::size_t rows() const { return n_; }
+  std::size_t nnz() const { return values_.size(); }
+  bool finalized() const { return finalized_; }
+
+  /// Accumulate A[r][c] += v. Only valid before finalize().
+  void add(std::size_t r, std::size_t c, double v);
+
+  /// Convenience for conductance stamping: adds the 2x2 block
+  ///   [ g -g; -g  g ] at (a, b) — one conductance between nodes a and b.
+  void stamp_conductance(std::size_t a, std::size_t b, double g);
+
+  /// Adds g to the diagonal (boundary conductance to ambient).
+  void stamp_ground(std::size_t a, double g) { add(a, a, g); }
+
+  /// Sorts, merges duplicates, builds CSR. Idempotent.
+  void finalize();
+
+  /// y = A x. Requires finalize(). x.size() == y.size() == rows().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Diagonal vector (for Jacobi preconditioning). Requires finalize().
+  std::vector<double> diagonal() const;
+
+  /// Entry lookup (O(log nnz_row)); 0 when absent. Requires finalize().
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Max |A[r][c] - A[c][r]| over stored entries — symmetry diagnostic.
+  double symmetry_error() const;
+
+ private:
+  std::size_t n_ = 0;
+  bool finalized_ = false;
+  // triplet storage before finalize
+  std::vector<std::size_t> trip_row_, trip_col_;
+  std::vector<double> trip_val_;
+  // CSR storage after finalize
+  std::vector<std::size_t> row_ptr_, col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,195 @@
+#include "thermal/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/grid_model.h"
+
+namespace rlplan::thermal {
+
+double volumetric_heat_capacity(const Material& material) {
+  // J / (m^3 K), standard packaging values.
+  if (material.name == "silicon" || material.name == "interposer-Si") {
+    return 1.75e6;
+  }
+  if (material.name == "copper") return 3.45e6;
+  if (material.name == "aluminum") return 2.42e6;
+  if (material.name == "TIM") return 2.0e6;
+  if (material.name == "underfill") return 1.7e6;
+  return 1.8e6;  // generic filled polymer / composite fallback
+}
+
+namespace {
+
+/// Jacobi-preconditioned CG on the capacity-augmented operator
+/// (G + diag(C/dt)) x = b, matrix-free so the finalized conductance matrix
+/// can be reused unchanged. Warm-starts on x.
+void solve_augmented(const SparseMatrix& g,
+                     const std::vector<double>& c_over_dt,
+                     const std::vector<double>& inv_diag,
+                     std::span<const double> b, std::vector<double>& x,
+                     const CgOptions& options) {
+  const std::size_t n = x.size();
+  const auto apply = [&](std::span<const double> in, std::span<double> out) {
+    g.multiply(in, out);
+    for (std::size_t i = 0; i < n; ++i) out[i] += c_over_dt[i] * in[i];
+  };
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  double b_norm = 0.0;
+  for (double v : b) b_norm += v * v;
+  b_norm = std::sqrt(b_norm);
+  const double stop = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  double r_norm = 0.0;
+  for (double v : r) r_norm += v * v;
+  r_norm = std::sqrt(r_norm);
+  if (r_norm <= stop) return;
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    apply(p, ap);
+    double p_ap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    if (p_ap <= 0.0) break;
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    r_norm = 0.0;
+    for (double v : r) r_norm += v * v;
+    r_norm = std::sqrt(r_norm);
+    if (r_norm <= stop) break;
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    double rz_next = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_next += r[i] * z[i];
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+}
+
+/// Peak chiplet-layer temperature over die footprints for a delta-T field.
+double peak_die_temp(const ThermalGridModel& model, const LayerStack& stack,
+                     const ChipletSystem& system, const Floorplan& floorplan,
+                     const std::vector<double>& dt_field) {
+  const std::size_t layer = stack.chiplet_layer_index();
+  const GridDims dims = model.dims();
+  double peak = stack.ambient_c();
+  for (std::size_t i = 0; i < system.num_chiplets(); ++i) {
+    if (!floorplan.is_placed(i)) continue;
+    const Rect rect = floorplan.rect_of(i);
+    for (std::size_t row = 0; row < dims.rows; ++row) {
+      for (std::size_t col = 0; col < dims.cols; ++col) {
+        if (model.coverage_fraction(row, col, rect) < 0.5) continue;
+        peak = std::max(
+            peak, stack.ambient_c() + dt_field[model.node(layer, row, col)]);
+      }
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+TransientResult solve_transient(const LayerStack& stack,
+                                const ChipletSystem& system,
+                                const Floorplan& floorplan,
+                                const TransientConfig& config,
+                                const std::vector<double>* initial_dt) {
+  if (config.dt_s <= 0.0 || config.duration_s <= 0.0) {
+    throw std::invalid_argument(
+        "solve_transient: dt and duration must be > 0");
+  }
+  stack.validate();
+  ThermalGridModel model(stack, system, config.dims);
+  const SparseMatrix g = model.build_conductance(floorplan);
+  const std::vector<double> base_power = model.build_power(floorplan);
+
+  // Per-node C/dt: volumetric capacity x cell volume / time step.
+  std::vector<double> c_over_dt(model.num_nodes(), 0.0);
+  const double cell_area = model.dx() * model.dy();
+  for (std::size_t l = 0; l < stack.num_layers(); ++l) {
+    const Layer& layer = stack.layer(l);
+    const double cap =
+        volumetric_heat_capacity(layer.material) * cell_area * layer.thickness;
+    for (std::size_t cell = 0; cell < config.dims.cells(); ++cell) {
+      c_over_dt[l * config.dims.cells() + cell] = cap / config.dt_s;
+    }
+  }
+  std::vector<double> inv_diag(model.num_nodes());
+  {
+    const auto gd = g.diagonal();
+    for (std::size_t i = 0; i < inv_diag.size(); ++i) {
+      inv_diag[i] = 1.0 / (gd[i] + c_over_dt[i]);
+    }
+  }
+
+  std::vector<double> dt_field(model.num_nodes(), 0.0);
+  if (initial_dt != nullptr) {
+    if (initial_dt->size() != dt_field.size()) {
+      throw std::invalid_argument("solve_transient: initial field size");
+    }
+    dt_field = *initial_dt;
+  }
+
+  TransientResult result;
+  result.trace.push_back(
+      {0.0, peak_die_temp(model, stack, system, floorplan, dt_field)});
+
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(config.duration_s / config.dt_s));
+  std::vector<double> rhs(model.num_nodes());
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const double t = static_cast<double>(s) * config.dt_s;
+    const double scale = config.power_scale ? config.power_scale(t) : 1.0;
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+      rhs[i] = c_over_dt[i] * dt_field[i] + scale * base_power[i];
+    }
+    solve_augmented(g, c_over_dt, inv_diag, rhs, dt_field, config.cg);
+    result.trace.push_back(
+        {t, peak_die_temp(model, stack, system, floorplan, dt_field)});
+    ++result.steps;
+  }
+
+  result.final_max_temp_c = result.trace.back().max_temp_c;
+  result.final_chiplet_temp_c.assign(system.num_chiplets(),
+                                     stack.ambient_c());
+  const std::size_t layer = stack.chiplet_layer_index();
+  for (std::size_t i = 0; i < system.num_chiplets(); ++i) {
+    if (!floorplan.is_placed(i)) continue;
+    const Rect rect = floorplan.rect_of(i);
+    double peak = stack.ambient_c();
+    for (std::size_t row = 0; row < config.dims.rows; ++row) {
+      for (std::size_t col = 0; col < config.dims.cols; ++col) {
+        if (model.coverage_fraction(row, col, rect) < 0.5) continue;
+        peak = std::max(peak, stack.ambient_c() +
+                                  dt_field[model.node(layer, row, col)]);
+      }
+    }
+    result.final_chiplet_temp_c[i] = peak;
+  }
+  return result;
+}
+
+double rise_time(const TransientResult& result, double fraction) {
+  if (result.trace.size() < 2) return -1.0;
+  const double start = result.trace.front().max_temp_c;
+  const double end = result.trace.back().max_temp_c;
+  const double target = start + fraction * (end - start);
+  for (const auto& sample : result.trace) {
+    if (sample.max_temp_c >= target) return sample.time_s;
+  }
+  return -1.0;
+}
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,66 @@
+// Transient thermal analysis — an extension beyond the paper's steady-state
+// evaluation (HotSpot's other operating mode).
+//
+// The grid RC network gains per-node heat capacities C (volumetric heat
+// capacity x cell volume) and is integrated with unconditionally stable
+// backward Euler:
+//
+//   (C/dt + G) T_{n+1} = (C/dt) T_n + P
+//
+// Each step is one SPD solve, warm-started from the previous step, so even
+// fine time grids are cheap. Useful for power-step response ("how fast does
+// a boosted GPU die approach its steady peak?") and thermal time-constant
+// extraction, both of which the tests exercise.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "thermal/grid_solver.h"
+
+namespace rlplan::thermal {
+
+/// Volumetric heat capacities, J / (m^3 K). Indexed by material name with a
+/// fallback default; kept separate from Material so steady-state users pay
+/// nothing.
+double volumetric_heat_capacity(const Material& material);
+
+struct TransientConfig {
+  GridDims dims{32, 32};
+  CgOptions cg{};
+  double dt_s = 1e-3;        ///< time step
+  double duration_s = 0.1;   ///< total simulated time
+  /// Optional per-step power schedule: power_scale(t) multiplies every
+  /// chiplet's power at time t. Identity when empty.
+  std::function<double(double)> power_scale{};
+};
+
+struct TransientSample {
+  double time_s = 0.0;
+  double max_temp_c = 0.0;
+};
+
+struct TransientResult {
+  std::vector<TransientSample> trace;  ///< peak chiplet temp over time
+  double final_max_temp_c = 0.0;
+  std::vector<double> final_chiplet_temp_c;
+  std::size_t steps = 0;
+};
+
+/// Integrates the placement's thermal response from ambient (or from
+/// `initial_dt`, a delta-T field of matching size when provided).
+TransientResult solve_transient(const LayerStack& stack,
+                                const ChipletSystem& system,
+                                const Floorplan& floorplan,
+                                const TransientConfig& config,
+                                const std::vector<double>* initial_dt = nullptr);
+
+/// Time for the peak temperature to reach `fraction` (e.g. 0.632 = one time
+/// constant) of its final rise, from a transient trace. Returns -1 when the
+/// trace never reaches it.
+double rise_time(const TransientResult& result, double fraction);
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,48 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlplan {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& cells,
+                                  int precision) {
+  std::vector<std::string> str_cells;
+  str_cells.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    str_cells.push_back(os.str());
+  }
+  write_row(str_cells);
+}
+
+}  // namespace rlplan

@@ -1,0 +1,30 @@
+// Minimal CSV emission for bench harness outputs.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlplan {
+
+/// Writes rows of mixed string/numeric cells to a CSV file. Cells containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void write_row_numeric(const std::vector<double>& cells, int precision = 8);
+
+  static std::string escape(std::string_view cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace rlplan

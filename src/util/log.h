@@ -1,0 +1,45 @@
+// Lightweight leveled logging to stderr.
+//
+// Deliberately minimal: no global mutable configuration beyond the level,
+// no allocation on the filtered-out path, printf-style formatting avoided in
+// favour of ostream composition at call sites via the RLPLAN_LOG macro.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rlplan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rlplan
+
+#define RLPLAN_LOG(level)                      \
+  if (::rlplan::log_level() > (level)) {       \
+  } else                                       \
+    ::rlplan::detail::LogStream(level).stream()
+
+#define RLPLAN_DEBUG RLPLAN_LOG(::rlplan::LogLevel::kDebug)
+#define RLPLAN_INFO RLPLAN_LOG(::rlplan::LogLevel::kInfo)
+#define RLPLAN_WARN RLPLAN_LOG(::rlplan::LogLevel::kWarn)
+#define RLPLAN_ERROR RLPLAN_LOG(::rlplan::LogLevel::kError)

@@ -1,0 +1,76 @@
+// Streaming statistics and error metrics.
+//
+// RunningStats implements Welford's online algorithm; ErrorMetrics computes
+// the four regression metrics the paper reports in Table II (MSE, RMSE, MAE,
+// MAPE) between a prediction series and a ground-truth series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rlplan {
+
+/// Numerically stable streaming mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Regression error metrics between prediction and reference series.
+/// Matches the metric set of Table II of the RLPlanner paper.
+struct ErrorMetrics {
+  double mse = 0.0;   ///< mean squared error
+  double rmse = 0.0;  ///< root mean squared error
+  double mae = 0.0;   ///< mean absolute error
+  double mape = 0.0;  ///< mean absolute percentage error, in percent
+  std::size_t n = 0;
+
+  /// Computes all four metrics. Reference entries with |ref| < eps are
+  /// skipped for MAPE only (to avoid division blow-up), mirroring common
+  /// practice. Requires pred.size() == ref.size().
+  static ErrorMetrics compute(std::span<const double> pred,
+                              std::span<const double> ref,
+                              double mape_eps = 1e-9);
+};
+
+/// Simple fixed-width histogram over [lo, hi); out-of-range samples clamp
+/// into the first/last bin. Used by characterization diagnostics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rlplan

@@ -1,0 +1,123 @@
+#include "sa/annealer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+namespace rlplan::sa {
+namespace {
+
+TEST(Annealer, MinimizesQuadratic) {
+  // State: a double; cost (x - 3)^2; proposals: gaussian steps.
+  Rng rng(1);
+  AnnealStats stats;
+  AnnealOptions options;
+  options.t_initial = 1.0;
+  options.t_final = 1e-6;
+  options.cooling = 0.9;
+  options.moves_per_temperature = 30;
+  const double best = anneal<double>(
+      10.0, [](const double& x) { return (x - 3.0) * (x - 3.0); },
+      [](const double& x, Rng& r) -> std::optional<double> {
+        return x + r.normal(0.0, 0.5);
+      },
+      options, rng, stats);
+  EXPECT_NEAR(best, 3.0, 0.2);
+  EXPECT_GT(stats.accepted, 0);
+  EXPECT_GT(stats.evaluations, 100);
+}
+
+TEST(Annealer, RespectsEvaluationBudget) {
+  Rng rng(2);
+  AnnealStats stats;
+  AnnealOptions options;
+  options.t_initial = 1.0;
+  options.max_evaluations = 50;
+  options.t_final = 1e-12;  // would run forever without the budget
+  options.cooling = 0.9999;
+  anneal<double>(
+      0.0, [](const double& x) { return x * x; },
+      [](const double& x, Rng& r) -> std::optional<double> {
+        return x + r.normal();
+      },
+      options, rng, stats);
+  EXPECT_LE(stats.evaluations, 51);
+}
+
+TEST(Annealer, AutoCalibratesInitialTemperature) {
+  Rng rng(3);
+  AnnealStats stats;
+  AnnealOptions options;
+  options.t_initial = -1.0;  // request calibration
+  options.t_final = 1e-3;
+  options.cooling = 0.8;
+  const double best = anneal<double>(
+      5.0, [](const double& x) { return std::abs(x); },
+      [](const double& x, Rng& r) -> std::optional<double> {
+        return x + r.uniform(-1.0, 1.0);
+      },
+      options, rng, stats);
+  EXPECT_LT(std::abs(best), 5.0);
+}
+
+TEST(Annealer, DeclinedProposalsCostNoEvaluation) {
+  Rng rng(4);
+  AnnealStats stats;
+  AnnealOptions options;
+  options.t_initial = 1.0;
+  options.t_final = 0.5;
+  options.cooling = 0.5;
+  options.moves_per_temperature = 20;
+  anneal<double>(
+      0.0, [](const double& x) { return x * x; },
+      [](const double&, Rng&) -> std::optional<double> {
+        return std::nullopt;  // always decline
+      },
+      options, rng, stats);
+  EXPECT_EQ(stats.evaluations, 1);  // only the initial state
+  EXPECT_GT(stats.proposals, 0);
+  EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(Annealer, BestNeverWorseThanInitial) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    AnnealStats stats;
+    AnnealOptions options;
+    options.t_initial = 10.0;  // very hot: accepts bad moves
+    options.t_final = 1.0;
+    options.cooling = 0.7;
+    const double initial = rng.uniform(-10.0, 10.0);
+    const auto cost = [](const double& x) { return x * x; };
+    const double best = anneal<double>(
+        initial, cost,
+        [](const double& x, Rng& r) -> std::optional<double> {
+          return x + r.normal(0.0, 2.0);
+        },
+        options, rng, stats);
+    EXPECT_LE(cost(best), cost(initial));
+  }
+}
+
+TEST(Annealer, HistoryIsMonotoneNonIncreasing) {
+  Rng rng(6);
+  AnnealStats stats;
+  AnnealOptions options;
+  options.t_initial = 2.0;
+  options.t_final = 1e-3;
+  options.cooling = 0.85;
+  anneal<double>(
+      8.0, [](const double& x) { return std::abs(x - 1.0); },
+      [](const double& x, Rng& r) -> std::optional<double> {
+        return x + r.normal(0.0, 0.8);
+      },
+      options, rng, stats);
+  for (std::size_t i = 1; i < stats.best_cost_history.size(); ++i) {
+    EXPECT_LE(stats.best_cost_history[i], stats.best_cost_history[i - 1]);
+  }
+  EXPECT_FALSE(stats.best_cost_history.empty());
+}
+
+}  // namespace
+}  // namespace rlplan::sa

@@ -1,0 +1,155 @@
+#include "core/chiplet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rlplan {
+namespace {
+
+ChipletSystem make_valid_system() {
+  return ChipletSystem("test", 20.0, 20.0,
+                       {{"a", 5.0, 4.0, 10.0}, {"b", 3.0, 3.0, 5.0}},
+                       {{0, 1, 64}});
+}
+
+TEST(Chiplet, DerivedQuantities) {
+  const Chiplet c{"x", 4.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(c.area(), 20.0);
+  EXPECT_DOUBLE_EQ(c.power_density(), 0.5);
+}
+
+TEST(Chiplet, ZeroAreaPowerDensity) {
+  const Chiplet c{"x", 0.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(c.power_density(), 0.0);
+}
+
+TEST(ChipletSystem, Aggregates) {
+  const auto sys = make_valid_system();
+  EXPECT_EQ(sys.num_chiplets(), 2u);
+  EXPECT_DOUBLE_EQ(sys.total_power(), 15.0);
+  EXPECT_DOUBLE_EQ(sys.total_chiplet_area(), 29.0);
+  EXPECT_DOUBLE_EQ(sys.utilization(), 29.0 / 400.0);
+  EXPECT_EQ(sys.total_wires(), 64);
+}
+
+TEST(ChipletSystem, ValidatesOk) {
+  EXPECT_NO_THROW(make_valid_system().validate());
+}
+
+TEST(ChipletSystem, RejectsBadInterposer) {
+  const ChipletSystem sys("bad", 0.0, 20.0, {{"a", 5.0, 4.0, 10.0}}, {});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsEmptyChiplets) {
+  const ChipletSystem sys("bad", 20.0, 20.0, {}, {});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsNonPositiveDimensions) {
+  const ChipletSystem sys("bad", 20.0, 20.0, {{"a", -1.0, 4.0, 10.0}}, {});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsNegativePower) {
+  const ChipletSystem sys("bad", 20.0, 20.0, {{"a", 5.0, 4.0, -1.0}}, {});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsOversizedChiplet) {
+  const ChipletSystem sys("bad", 20.0, 20.0, {{"a", 25.0, 4.0, 1.0}}, {});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, AcceptsRotatableFit) {
+  // 25x4 does not fit a 20x30 interposer unrotated along x, but fits
+  // rotated; validate() accepts because the long side fits the long axis.
+  const ChipletSystem sys("ok", 20.0, 30.0, {{"a", 25.0, 4.0, 1.0}}, {});
+  EXPECT_NO_THROW(sys.validate());
+}
+
+TEST(ChipletSystem, RejectsSelfLoopNet) {
+  const ChipletSystem sys("bad", 20.0, 20.0,
+                          {{"a", 5.0, 4.0, 1.0}, {"b", 3.0, 3.0, 1.0}},
+                          {{0, 0, 8}});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsNetEndpointOutOfRange) {
+  const ChipletSystem sys("bad", 20.0, 20.0, {{"a", 5.0, 4.0, 1.0}},
+                          {{0, 3, 8}});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsNonPositiveWires) {
+  const ChipletSystem sys("bad", 20.0, 20.0,
+                          {{"a", 5.0, 4.0, 1.0}, {"b", 3.0, 3.0, 1.0}},
+                          {{0, 1, 0}});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, RejectsOverUtilization) {
+  const ChipletSystem sys("bad", 10.0, 10.0,
+                          {{"a", 8.0, 8.0, 1.0}, {"b", 8.0, 8.0, 1.0}}, {});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(ChipletSystem, PlacementOrderByAreaIsDescendingAndComplete) {
+  const ChipletSystem sys(
+      "order", 40.0, 40.0,
+      {{"small", 2.0, 2.0, 1.0}, {"big", 10.0, 10.0, 1.0},
+       {"mid", 5.0, 5.0, 1.0}},
+      {});
+  const auto order = sys.placement_order_by_area();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(ChipletSystem, PlacementOrderStableForTies) {
+  const ChipletSystem sys(
+      "ties", 40.0, 40.0,
+      {{"a", 4.0, 4.0, 1.0}, {"b", 4.0, 4.0, 1.0}, {"c", 2.0, 8.0, 1.0}},
+      {});
+  const auto order = sys.placement_order_by_area();
+  // All areas equal: stable sort preserves index order.
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(Netlist, BuildAdjacencySymmetric) {
+  const auto adj = build_adjacency(3, {{0, 1, 16}, {1, 2, 8}, {0, 1, 4}});
+  EXPECT_EQ(adj[0][1], 20);
+  EXPECT_EQ(adj[1][0], 20);
+  EXPECT_EQ(adj[1][2], 8);
+  EXPECT_EQ(adj[2][1], 8);
+  EXPECT_EQ(adj[0][2], 0);
+  EXPECT_EQ(adj[0][0], 0);
+}
+
+TEST(Netlist, WireDegrees) {
+  const auto deg = wire_degrees(3, {{0, 1, 16}, {1, 2, 8}});
+  EXPECT_EQ(deg[0], 16);
+  EXPECT_EQ(deg[1], 24);
+  EXPECT_EQ(deg[2], 8);
+}
+
+TEST(Netlist, ConnectivityDetection) {
+  EXPECT_TRUE(is_connected(3, {{0, 1, 1}, {1, 2, 1}}));
+  EXPECT_FALSE(is_connected(3, {{0, 1, 1}}));
+  EXPECT_TRUE(is_connected(1, {}));
+  EXPECT_TRUE(is_connected(0, {}));
+  EXPECT_FALSE(is_connected(2, {}));
+}
+
+TEST(Netlist, MalformedNetsIgnoredByHelpers) {
+  // Helpers skip malformed entries; validate() is the rejection point.
+  const auto adj = build_adjacency(2, {{0, 0, 5}, {0, 7, 5}, {0, 1, 3}});
+  EXPECT_EQ(adj[0][1], 3);
+}
+
+}  // namespace
+}  // namespace rlplan

@@ -1,0 +1,118 @@
+#include "rl/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rlplan::rl {
+namespace {
+
+TEST(MaskedCategorical, ProbabilitiesSumToOneOverSupport) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<std::uint8_t> mask{1, 0, 1, 1};
+  const MaskedCategorical dist(logits, mask);
+  double sum = 0.0;
+  for (float p : dist.probs()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_EQ(dist.probs()[1], 0.0f);
+}
+
+TEST(MaskedCategorical, MaskedActionsHaveZeroProbability) {
+  const std::vector<float> logits{10.0f, 0.0f};
+  const std::vector<std::uint8_t> mask{0, 1};
+  const MaskedCategorical dist(logits, mask);
+  EXPECT_EQ(dist.probs()[0], 0.0f);
+  EXPECT_NEAR(dist.probs()[1], 1.0f, 1e-6);
+  EXPECT_LT(dist.log_prob(0), -1e20f);
+}
+
+TEST(MaskedCategorical, MatchesSoftmaxOnFullSupport) {
+  const std::vector<float> logits{0.5f, 1.5f, -0.5f};
+  const std::vector<std::uint8_t> mask{1, 1, 1};
+  const MaskedCategorical dist(logits, mask);
+  double z = 0.0;
+  for (float l : logits) z += std::exp(l);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(dist.probs()[i], std::exp(logits[i]) / z, 1e-6);
+    EXPECT_NEAR(dist.log_prob(i), std::log(std::exp(logits[i]) / z), 1e-5);
+  }
+}
+
+TEST(MaskedCategorical, NumericallyStableForLargeLogits) {
+  const std::vector<float> logits{1000.0f, 999.0f};
+  const std::vector<std::uint8_t> mask{1, 1};
+  const MaskedCategorical dist(logits, mask);
+  EXPECT_NEAR(dist.probs()[0] + dist.probs()[1], 1.0, 1e-6);
+  EXPECT_GT(dist.probs()[0], dist.probs()[1]);
+  EXPECT_TRUE(std::isfinite(dist.entropy()));
+}
+
+TEST(MaskedCategorical, EntropyUniformIsLogN) {
+  const std::vector<float> logits{1.0f, 1.0f, 1.0f, 1.0f};
+  const std::vector<std::uint8_t> mask{1, 1, 1, 1};
+  const MaskedCategorical dist(logits, mask);
+  EXPECT_NEAR(dist.entropy(), std::log(4.0f), 1e-5);
+}
+
+TEST(MaskedCategorical, EntropyDegenerateIsZero) {
+  const std::vector<float> logits{5.0f, 5.0f};
+  const std::vector<std::uint8_t> mask{1, 0};
+  const MaskedCategorical dist(logits, mask);
+  EXPECT_NEAR(dist.entropy(), 0.0f, 1e-6);
+}
+
+TEST(MaskedCategorical, EntropyMaskingReducesSupport) {
+  const std::vector<float> logits{1.0f, 1.0f, 1.0f, 1.0f};
+  const std::vector<std::uint8_t> full{1, 1, 1, 1};
+  const std::vector<std::uint8_t> half{1, 1, 0, 0};
+  EXPECT_GT(MaskedCategorical(logits, full).entropy(),
+            MaskedCategorical(logits, half).entropy());
+}
+
+TEST(MaskedCategorical, ThrowsWhenNoFeasibleAction) {
+  const std::vector<float> logits{1.0f, 2.0f};
+  const std::vector<std::uint8_t> mask{0, 0};
+  EXPECT_THROW(MaskedCategorical(logits, mask), std::invalid_argument);
+}
+
+TEST(MaskedCategorical, ThrowsOnSizeMismatch) {
+  const std::vector<float> logits{1.0f, 2.0f};
+  const std::vector<std::uint8_t> mask{1};
+  EXPECT_THROW(MaskedCategorical(logits, mask), std::invalid_argument);
+}
+
+TEST(MaskedCategorical, SampleRespectsMask) {
+  const std::vector<float> logits{0.0f, 0.0f, 0.0f, 0.0f};
+  const std::vector<std::uint8_t> mask{0, 1, 0, 1};
+  const MaskedCategorical dist(logits, mask);
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t a = dist.sample(rng);
+    EXPECT_TRUE(a == 1 || a == 3);
+  }
+}
+
+TEST(MaskedCategorical, SampleFrequenciesTrackProbabilities) {
+  const std::vector<float> logits{std::log(1.0f), std::log(3.0f)};
+  const std::vector<std::uint8_t> mask{1, 1};
+  const MaskedCategorical dist(logits, mask);
+  Rng rng(123);
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.sample(rng) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(MaskedCategorical, ArgmaxPicksHighestFeasible) {
+  const std::vector<float> logits{9.0f, 2.0f, 5.0f};
+  const std::vector<std::uint8_t> mask{0, 1, 1};
+  const MaskedCategorical dist(logits, mask);
+  EXPECT_EQ(dist.argmax(), 2u);
+}
+
+}  // namespace
+}  // namespace rlplan::rl

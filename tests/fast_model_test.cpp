@@ -1,0 +1,208 @@
+#include "thermal/fast_model.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "systems/synthetic.h"
+#include "thermal/characterize.h"
+#include "thermal/grid_solver.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace rlplan::thermal {
+namespace {
+
+// Shared small-grid characterization for the whole test suite (expensive).
+class FastModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    stack_ = new LayerStack(LayerStack::default_2p5d());
+    CharacterizationConfig cc;
+    cc.solver.dims = {32, 32};
+    cc.auto_axis_points = 6;
+    ThermalCharacterizer charac(*stack_, cc);
+    model_ = new FastThermalModel(charac.characterize(40.0, 40.0));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete stack_;
+    model_ = nullptr;
+    stack_ = nullptr;
+  }
+  static LayerStack* stack_;
+  static FastThermalModel* model_;
+};
+
+LayerStack* FastModelTest::stack_ = nullptr;
+FastThermalModel* FastModelTest::model_ = nullptr;
+
+ChipletSystem two_die_system(double p0, double p1) {
+  return ChipletSystem(
+      "t", 40.0, 40.0,
+      {{"a", 8.0, 8.0, p0}, {"b", 8.0, 8.0, p1}}, {});
+}
+
+TEST_F(FastModelTest, TablesAreNonEmpty) {
+  EXPECT_FALSE(model_->empty());
+  EXPECT_FALSE(model_->self_table().empty());
+  EXPECT_FALSE(model_->mutual_table().empty());
+  EXPECT_FALSE(model_->self_droop().empty());
+}
+
+TEST_F(FastModelTest, SelfResistanceDecreasesWithDieArea) {
+  // Larger dies spread the same power over more area -> lower R_self.
+  const auto& t = model_->self_table();
+  EXPECT_GT(t.lookup(3.0, 3.0), t.lookup(10.0, 10.0));
+  EXPECT_GT(t.lookup(10.0, 10.0), t.lookup(20.0, 20.0));
+}
+
+TEST_F(FastModelTest, MutualResistanceDecreasesWithDistance) {
+  const auto& t = model_->mutual_table();
+  EXPECT_GT(t.lookup(2.0), t.lookup(10.0));
+  EXPECT_GT(t.lookup(10.0), t.lookup(25.0));
+  EXPECT_GT(t.lookup(25.0), 0.0);  // package floor keeps it positive
+}
+
+TEST_F(FastModelTest, ZeroPowerGivesAmbient) {
+  const auto sys = two_die_system(0.0, 0.0);
+  Floorplan fp(sys);
+  fp.place(0, {4.0, 16.0});
+  fp.place(1, {28.0, 16.0});
+  const auto r = model_->evaluate(sys, fp);
+  EXPECT_NEAR(r.max_temp_c, model_->ambient_c(), 1e-9);
+}
+
+TEST_F(FastModelTest, HotterNeighborRaisesTemperature) {
+  // Keep the receiver away from package corners in both configurations so
+  // boundary self-heating does not mask the neighbour-coupling difference.
+  const auto sys = two_die_system(30.0, 10.0);
+  Floorplan near_fp(sys);
+  near_fp.place(0, {4.0, 16.0});
+  near_fp.place(1, {13.0, 16.0});  // centers 9 mm apart
+  Floorplan far_fp(sys);
+  far_fp.place(0, {4.0, 16.0});
+  far_fp.place(1, {26.0, 16.0});  // centers 22 mm apart
+  const double t_near = model_->evaluate(sys, near_fp).chiplet_temp_c[1];
+  const double t_far = model_->evaluate(sys, far_fp).chiplet_temp_c[1];
+  EXPECT_GT(t_near, t_far + 0.5);
+}
+
+TEST_F(FastModelTest, LinearInPower) {
+  const auto sys1 = two_die_system(10.0, 0.0);
+  const auto sys2 = two_die_system(20.0, 0.0);
+  Floorplan fp1(sys1);
+  fp1.place(0, {16.0, 16.0});
+  fp1.place(1, {0.0, 0.0});
+  Floorplan fp2(sys2);
+  fp2.place(0, {16.0, 16.0});
+  fp2.place(1, {0.0, 0.0});
+  const double rise1 =
+      model_->evaluate(sys1, fp1).chiplet_temp_c[0] - model_->ambient_c();
+  const double rise2 =
+      model_->evaluate(sys2, fp2).chiplet_temp_c[0] - model_->ambient_c();
+  EXPECT_NEAR(rise2, 2.0 * rise1, 1e-6);
+}
+
+TEST_F(FastModelTest, UnplacedChipletsReadAmbient) {
+  const auto sys = two_die_system(30.0, 10.0);
+  Floorplan fp(sys);
+  fp.place(0, {16.0, 16.0});
+  const auto r = model_->evaluate(sys, fp);
+  EXPECT_DOUBLE_EQ(r.chiplet_temp_c[1], model_->ambient_c());
+  EXPECT_GT(r.chiplet_temp_c[0], model_->ambient_c());
+}
+
+TEST_F(FastModelTest, AgreesWithGroundTruthOnRandomSystems) {
+  // The headline Table II property at small scale: MAE within a few K.
+  systems::SyntheticConfig sc;
+  sc.interposer_w_mm = 40.0;
+  sc.interposer_h_mm = 40.0;
+  sc.min_power_w = 4.0;
+  sc.max_power_w = 25.0;
+  const systems::SyntheticSystemGenerator gen(sc);
+  GridThermalSolver solver(*stack_, {.dims = {32, 32}});
+  std::vector<double> pred, ref;
+  for (int i = 0; i < 6; ++i) {
+    const auto sys = gen.generate(500 + i);
+    Rng rng(900 + i);
+    const auto fp = systems::random_legal_floorplan(sys, rng);
+    ref.push_back(solver.solve(sys, fp).max_temp_c);
+    pred.push_back(model_->evaluate(sys, fp).max_temp_c);
+  }
+  const auto m = ErrorMetrics::compute(pred, ref);
+  EXPECT_LT(m.mae, 3.0) << "fast model diverged from ground truth";
+}
+
+TEST_F(FastModelTest, FasterThanGroundTruth) {
+  const auto sys = two_die_system(20.0, 15.0);
+  Floorplan fp(sys);
+  fp.place(0, {4.0, 16.0});
+  fp.place(1, {28.0, 16.0});
+  GridThermalSolver solver(*stack_, {.dims = {32, 32}});
+  Timer t1;
+  solver.solve(sys, fp);
+  const double slow = t1.seconds();
+  Timer t2;
+  for (int i = 0; i < 10; ++i) model_->evaluate(sys, fp);
+  const double fast = t2.seconds() / 10.0;
+  EXPECT_GT(slow / fast, 20.0) << "expected a large speedup";
+}
+
+TEST_F(FastModelTest, SaveLoadRoundtrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rlplan_fast_model.txt")
+          .string();
+  model_->save(path);
+  const auto loaded = FastThermalModel::load(path);
+  const auto sys = two_die_system(22.0, 13.0);
+  Floorplan fp(sys);
+  fp.place(0, {5.0, 7.0});
+  fp.place(1, {25.0, 20.0});
+  const auto a = model_->evaluate(sys, fp);
+  const auto b = loaded.evaluate(sys, fp);
+  ASSERT_EQ(a.chiplet_temp_c.size(), b.chiplet_temp_c.size());
+  for (std::size_t i = 0; i < a.chiplet_temp_c.size(); ++i) {
+    EXPECT_NEAR(a.chiplet_temp_c[i], b.chiplet_temp_c[i], 1e-9);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(FastModelTest, EmptyModelThrows) {
+  const FastThermalModel empty;
+  const auto sys = two_die_system(1.0, 1.0);
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  fp.place(1, {20.0, 20.0});
+  EXPECT_THROW(empty.evaluate(sys, fp), std::logic_error);
+}
+
+TEST(FastModelConfig, RejectsBadSubsamples) {
+  SelfResistanceTable self({1.0, 2.0}, {1.0, 2.0}, {{1.0, 1.0}, {1.0, 1.0}});
+  MutualResistanceTable mutual({0.0, 1.0}, {1.0, 0.5});
+  FastModelConfig config;
+  config.source_subsamples = 0;
+  EXPECT_THROW(FastThermalModel(self, mutual, 45.0, config),
+               std::invalid_argument);
+}
+
+TEST(Characterizer, LinspaceAndGeomspace) {
+  const auto lin = linspace(0.0, 10.0, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.0);
+  EXPECT_DOUBLE_EQ(lin[2], 5.0);
+  EXPECT_DOUBLE_EQ(lin[4], 10.0);
+
+  const auto geo = geomspace(1.0, 16.0, 5);
+  ASSERT_EQ(geo.size(), 5u);
+  EXPECT_DOUBLE_EQ(geo[0], 1.0);
+  EXPECT_NEAR(geo[2], 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geo[4], 16.0);
+
+  EXPECT_THROW(linspace(5.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(geomspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlplan::thermal

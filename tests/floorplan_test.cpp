@@ -1,0 +1,194 @@
+#include "core/floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rlplan {
+namespace {
+
+ChipletSystem make_system() {
+  return ChipletSystem("fp", 30.0, 20.0,
+                       {{"a", 6.0, 4.0, 10.0},
+                        {"b", 5.0, 5.0, 8.0},
+                        {"c", 3.0, 8.0, 4.0}},
+                       {{0, 1, 32}, {1, 2, 16}});
+}
+
+TEST(Floorplan, StartsEmpty) {
+  const auto sys = make_system();
+  const Floorplan fp(sys);
+  EXPECT_EQ(fp.num_chiplets(), 3u);
+  EXPECT_EQ(fp.num_placed(), 0u);
+  EXPECT_FALSE(fp.is_complete());
+  EXPECT_FALSE(fp.is_placed(0));
+}
+
+TEST(Floorplan, PlaceUnplaceRoundtrip) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {1.0, 2.0});
+  EXPECT_TRUE(fp.is_placed(0));
+  EXPECT_EQ(fp.num_placed(), 1u);
+  EXPECT_EQ(fp.rect_of(0), (Rect{1.0, 2.0, 6.0, 4.0}));
+  fp.unplace(0);
+  EXPECT_FALSE(fp.is_placed(0));
+  EXPECT_EQ(fp.num_placed(), 0u);
+}
+
+TEST(Floorplan, RotationSwapsDimensions) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0}, /*rotated=*/true);
+  EXPECT_EQ(fp.rect_of(0), (Rect{0.0, 0.0, 4.0, 6.0}));
+}
+
+TEST(Floorplan, RectOfUnplacedThrows) {
+  const auto sys = make_system();
+  const Floorplan fp(sys);
+  EXPECT_THROW(fp.rect_of(0), std::logic_error);
+}
+
+TEST(Floorplan, CanPlaceRespectsBounds) {
+  const auto sys = make_system();
+  const Floorplan fp(sys);
+  EXPECT_TRUE(fp.can_place(0, {0.0, 0.0}, false));
+  EXPECT_TRUE(fp.can_place(0, {24.0, 16.0}, false));  // exactly in the corner
+  EXPECT_FALSE(fp.can_place(0, {24.1, 16.0}, false));
+  EXPECT_FALSE(fp.can_place(0, {-0.1, 0.0}, false));
+}
+
+TEST(Floorplan, CanPlaceRespectsOverlap) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});  // occupies [0,6]x[0,4]
+  EXPECT_FALSE(fp.can_place(1, {5.0, 3.0}, false));
+  EXPECT_TRUE(fp.can_place(1, {6.0, 0.0}, false));  // abutting is legal
+  EXPECT_TRUE(fp.can_place(1, {0.0, 4.0}, false));
+}
+
+TEST(Floorplan, CanPlaceRespectsSpacing) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  EXPECT_FALSE(fp.can_place(1, {6.0, 0.0}, false, 0.5));
+  EXPECT_FALSE(fp.can_place(1, {6.4, 0.0}, false, 0.5));
+  EXPECT_TRUE(fp.can_place(1, {6.5, 0.0}, false, 0.5));
+}
+
+TEST(Floorplan, ReplacingSelfIgnoresOwnFootprint) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  // Moving chiplet 0 onto its own current location must be legal.
+  EXPECT_TRUE(fp.can_place(0, {0.0, 0.0}, false));
+  EXPECT_TRUE(fp.can_place(0, {1.0, 1.0}, false));
+}
+
+TEST(Floorplan, IsLegalRequiresCompleteness) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  EXPECT_FALSE(fp.is_legal());
+  fp.place(1, {10.0, 0.0});
+  fp.place(2, {20.0, 0.0});
+  EXPECT_TRUE(fp.is_legal());
+}
+
+TEST(Floorplan, IsLegalDetectsOverlap) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  fp.place(1, {3.0, 2.0});  // overlaps chiplet 0
+  fp.place(2, {20.0, 0.0});
+  EXPECT_FALSE(fp.is_legal());
+  EXPECT_GT(fp.total_overlap_area(), 0.0);
+}
+
+TEST(Floorplan, TotalOverlapAreaExact) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});   // [0,6]x[0,4]
+  fp.place(1, {4.0, 2.0});   // [4,9]x[2,7]: overlap 2x2 = 4
+  EXPECT_DOUBLE_EQ(fp.total_overlap_area(), 4.0);
+}
+
+TEST(Floorplan, CenterWirelengthMatchesManualComputation) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});    // center (3, 2)
+  fp.place(1, {10.0, 0.0});   // center (12.5, 2.5)
+  // net 0-1: 32 wires * (|12.5-3| + |2.5-2|) = 32 * 10 = 320
+  EXPECT_DOUBLE_EQ(fp.center_wirelength(), 320.0);
+  fp.place(2, {20.0, 10.0});  // center (21.5, 14)
+  // net 1-2: 16 * (9 + 11.5) = 328 -> total 648
+  EXPECT_DOUBLE_EQ(fp.center_wirelength(), 648.0);
+}
+
+TEST(Floorplan, CenterWirelengthIgnoresUnplacedEndpoints) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(fp.center_wirelength(), 0.0);
+}
+
+TEST(Floorplan, BoundingBox) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  EXPECT_EQ(fp.bounding_box(), (Rect{}));
+  fp.place(0, {1.0, 1.0});
+  fp.place(2, {20.0, 10.0});
+  const Rect bb = fp.bounding_box();
+  EXPECT_DOUBLE_EQ(bb.x, 1.0);
+  EXPECT_DOUBLE_EQ(bb.y, 1.0);
+  EXPECT_DOUBLE_EQ(bb.right(), 23.0);
+  EXPECT_DOUBLE_EQ(bb.top(), 18.0);
+}
+
+TEST(Floorplan, PlacedRects) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(1, {2.0, 3.0});
+  const auto rects = fp.placed_rects();
+  ASSERT_EQ(rects.size(), 3u);
+  EXPECT_FALSE(rects[0].has_value());
+  ASSERT_TRUE(rects[1].has_value());
+  EXPECT_EQ(*rects[1], (Rect{2.0, 3.0, 5.0, 5.0}));
+}
+
+TEST(Floorplan, ClearResetsEverything) {
+  const auto sys = make_system();
+  Floorplan fp(sys);
+  fp.place(0, {0.0, 0.0});
+  fp.place(1, {10.0, 0.0});
+  fp.clear();
+  EXPECT_EQ(fp.num_placed(), 0u);
+}
+
+// Property: can_place is consistent with is_legal after placement.
+TEST(FloorplanProperty, CanPlaceImpliesLegalPairwise) {
+  const auto sys = make_system();
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    Floorplan fp(sys);
+    bool all_ok = true;
+    for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+      const Point p{rng.uniform(0.0, 25.0), rng.uniform(0.0, 16.0)};
+      const bool rot = rng.bernoulli(0.5);
+      if (fp.can_place(i, p, rot)) {
+        fp.place(i, p, rot);
+      } else {
+        all_ok = false;
+      }
+    }
+    if (all_ok) {
+      EXPECT_TRUE(fp.is_legal()) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(fp.total_overlap_area(), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlplan

@@ -1,0 +1,128 @@
+#include "core/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rlplan {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+}
+
+TEST(Point, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(manhattan(b, a), 7.0);  // symmetry
+}
+
+TEST(Rect, BasicAccessors) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.right(), 4.0);
+  EXPECT_DOUBLE_EQ(r.top(), 6.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r{0.0, 0.0, 10.0, 5.0};
+  EXPECT_TRUE(r.contains(Point{5.0, 2.5}));
+  EXPECT_TRUE(r.contains(Point{0.0, 0.0}));    // boundary inclusive
+  EXPECT_TRUE(r.contains(Point{10.0, 5.0}));   // far corner inclusive
+  EXPECT_FALSE(r.contains(Point{10.01, 2.0}));
+  EXPECT_FALSE(r.contains(Point{5.0, -0.01}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(outer.contains(Rect{2.0, 2.0, 3.0, 3.0}));
+  EXPECT_TRUE(outer.contains(outer));  // self containment
+  EXPECT_TRUE(outer.contains(Rect{0.0, 0.0, 10.0, 5.0}));
+  EXPECT_FALSE(outer.contains(Rect{8.0, 8.0, 3.0, 3.0}));
+  EXPECT_FALSE(outer.contains(Rect{-0.1, 0.0, 1.0, 1.0}));
+}
+
+TEST(Rect, OverlapIsStrictInterior) {
+  const Rect a{0.0, 0.0, 5.0, 5.0};
+  EXPECT_TRUE(a.overlaps(Rect{4.0, 4.0, 5.0, 5.0}));
+  // Edge-sharing rectangles do NOT overlap (abutment is legal).
+  EXPECT_FALSE(a.overlaps(Rect{5.0, 0.0, 5.0, 5.0}));
+  // Corner touching is not overlap.
+  EXPECT_FALSE(a.overlaps(Rect{5.0, 5.0, 2.0, 2.0}));
+  EXPECT_FALSE(a.overlaps(Rect{6.0, 0.0, 1.0, 1.0}));
+  EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(Rect, OverlapIsSymmetric) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0.1, 5),
+                 rng.uniform(0.1, 5)};
+    const Rect b{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0.1, 5),
+                 rng.uniform(0.1, 5)};
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+  }
+}
+
+TEST(Rect, IntersectionArea) {
+  const Rect a{0.0, 0.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.intersection_area(Rect{2.0, 2.0, 4.0, 4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(a.intersection_area(Rect{4.0, 0.0, 2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(a.intersection_area(a), 16.0);
+  EXPECT_DOUBLE_EQ(a.intersection_area(Rect{1.0, 1.0, 2.0, 2.0}), 4.0);
+}
+
+TEST(Rect, IntersectionAreaConsistentWithOverlap) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a{rng.uniform(0, 20), rng.uniform(0, 20), rng.uniform(0.1, 8),
+                 rng.uniform(0.1, 8)};
+    const Rect b{rng.uniform(0, 20), rng.uniform(0, 20), rng.uniform(0.1, 8),
+                 rng.uniform(0.1, 8)};
+    EXPECT_EQ(a.intersection_area(b) > 0.0, a.overlaps(b))
+        << "intersection area and overlap predicate disagree";
+    EXPECT_NEAR(a.intersection_area(b), b.intersection_area(a), 1e-12);
+  }
+}
+
+TEST(Rect, Inflated) {
+  const Rect r{2.0, 3.0, 4.0, 5.0};
+  const Rect grown = r.inflated(1.0);
+  EXPECT_DOUBLE_EQ(grown.x, 1.0);
+  EXPECT_DOUBLE_EQ(grown.y, 2.0);
+  EXPECT_DOUBLE_EQ(grown.w, 6.0);
+  EXPECT_DOUBLE_EQ(grown.h, 7.0);
+  const Rect shrunk = r.inflated(-1.0);
+  EXPECT_DOUBLE_EQ(shrunk.w, 2.0);
+  EXPECT_DOUBLE_EQ(shrunk.h, 3.0);
+}
+
+TEST(RectGap, SeparatedAlongAxis) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(rect_gap(a, Rect{5.0, 0.0, 2.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(rect_gap(a, Rect{0.0, 7.0, 2.0, 2.0}), 5.0);
+}
+
+TEST(RectGap, TouchingAndOverlapping) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(rect_gap(a, Rect{2.0, 0.0, 2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(rect_gap(a, Rect{1.0, 1.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(RectGap, DiagonalSeparation) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{4.0, 5.0, 1.0, 1.0};
+  // dx = 3, dy = 4 -> corner distance 5.
+  EXPECT_DOUBLE_EQ(rect_gap(a, b), 5.0);
+}
+
+}  // namespace
+}  // namespace rlplan

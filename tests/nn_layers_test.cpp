@@ -1,0 +1,226 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace rlplan::nn {
+namespace {
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(1);
+  Linear lin(2, 2, rng);
+  // Overwrite weights deterministically: y = [x0 + 2 x1 + 0.5, 3 x0 - 1].
+  lin.weight().value.at(0, 0) = 1.0f;
+  lin.weight().value.at(0, 1) = 2.0f;
+  lin.weight().value.at(1, 0) = 3.0f;
+  lin.weight().value.at(1, 1) = 0.0f;
+  lin.bias().value[0] = 0.5f;
+  lin.bias().value[1] = -1.0f;
+  const Tensor x({1, 2}, {2.0f, 3.0f});
+  const Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 8.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 5.0f);
+}
+
+TEST(Linear, BatchForward) {
+  Rng rng(2);
+  Linear lin(3, 4, rng);
+  const Tensor x({5, 3});
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y.dim(0), 5u);
+  EXPECT_EQ(y.dim(1), 4u);
+}
+
+TEST(Linear, ForwardRejectsBadShape) {
+  Rng rng(3);
+  Linear lin(3, 4, rng);
+  EXPECT_THROW(lin.forward(Tensor({5, 2})), std::invalid_argument);
+  EXPECT_THROW(lin.forward(Tensor({3})), std::invalid_argument);
+}
+
+TEST(Linear, BackwardShapes) {
+  Rng rng(4);
+  Linear lin(3, 4, rng);
+  lin.forward(Tensor({2, 3}));
+  const Tensor dx = lin.backward(Tensor({2, 4}));
+  EXPECT_EQ(dx.dim(0), 2u);
+  EXPECT_EQ(dx.dim(1), 3u);
+}
+
+TEST(Conv2d, OutputShapeStride1) {
+  Rng rng(5);
+  Conv2d conv(2, 4, 3, 1, 1, rng);
+  const Tensor y = conv.forward(Tensor({1, 2, 8, 8}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 4, 8, 8}));
+}
+
+TEST(Conv2d, OutputShapeStride2) {
+  Rng rng(6);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  const Tensor y = conv.forward(Tensor({2, 3, 16, 16}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 8, 8, 8}));
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  Rng rng(7);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.parameters()[0]->value.fill(0.0f);
+  conv.parameters()[1]->value.fill(0.0f);
+  // Center tap = 1 -> identity.
+  Tensor& w = conv.parameters()[0]->value;
+  w.at(0, 0, 1, 1) = 1.0f;
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, PaddingZerosAtBorder) {
+  Rng rng(8);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.parameters()[0]->value.fill(1.0f);  // sum of 3x3 neighbourhood
+  conv.parameters()[1]->value.fill(0.0f);
+  Tensor x = Tensor::full({1, 1, 3, 3}, 1.0f);
+  const Tensor y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.0f);  // full neighbourhood
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);  // corner: 2x2 valid
+}
+
+TEST(ReLU, ForwardBackward) {
+  ReLU relu;
+  const Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  const Tensor dy = Tensor::full({1, 4}, 1.0f);
+  const Tensor dx = relu.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);  // blocked: input < 0
+  EXPECT_FLOAT_EQ(dx[1], 0.0f);  // blocked at exactly 0
+  EXPECT_FLOAT_EQ(dx[2], 1.0f);
+}
+
+TEST(Tanh, ForwardBackward) {
+  Tanh tanh_layer;
+  const Tensor x({1, 2}, {0.0f, 100.0f});
+  const Tensor y = tanh_layer.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6);
+  const Tensor dx = tanh_layer.backward(Tensor::full({1, 2}, 1.0f));
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);        // 1 - tanh(0)^2
+  EXPECT_NEAR(dx[1], 0.0f, 1e-6);      // saturated
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 4});
+  const Tensor y = flat.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  const Tensor back = flat.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Sequential, ChainsAndCollectsParameters) {
+  Rng rng(9);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(4, 8, rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<Linear>(8, 2, rng));
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.parameters().size(), 4u);  // two weights + two biases
+  const Tensor y = seq.forward(Tensor({3, 4}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{3, 2}));
+  const Tensor dx = seq.backward(Tensor({3, 2}));
+  EXPECT_EQ(dx.shape(), (std::vector<std::size_t>{3, 4}));
+}
+
+TEST(Module, ZeroGradClearsAccumulations) {
+  Rng rng(10);
+  Linear lin(2, 2, rng);
+  lin.forward(Tensor::full({1, 2}, 1.0f));
+  lin.backward(Tensor::full({1, 2}, 1.0f));
+  bool any_nonzero = false;
+  for (const Parameter* p : lin.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+      if (p->grad[i] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  lin.zero_grad();
+  for (Parameter* p : lin.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+      EXPECT_EQ(p->grad[i], 0.0f);
+    }
+  }
+}
+
+TEST(Initialization, DeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  Linear a(8, 8, rng1), b(8, 8, rng2);
+  for (std::size_t i = 0; i < a.weight().value.numel(); ++i) {
+    EXPECT_EQ(a.weight().value[i], b.weight().value[i]);
+  }
+}
+
+TEST(Initialization, KaimingBoundScalesWithFanIn) {
+  EXPECT_GT(kaiming_bound(4), kaiming_bound(64));
+  EXPECT_FLOAT_EQ(kaiming_bound(6), 1.0f);
+}
+
+TEST(Serialize, RoundtripPreservesValues) {
+  Rng rng(11);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(3, 5, rng, "l1"));
+  seq.add(std::make_unique<Linear>(5, 2, rng, "l2"));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rlplan_nn_test.bin")
+          .string();
+  save_parameters(seq.parameters(), path);
+
+  Rng rng2(99);  // different init
+  Sequential seq2;
+  seq2.add(std::make_unique<Linear>(3, 5, rng2, "l1"));
+  seq2.add(std::make_unique<Linear>(5, 2, rng2, "l2"));
+  load_parameters(seq2.parameters(), path);
+
+  const auto pa = seq.parameters();
+  const auto pb = seq2.parameters();
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    for (std::size_t i = 0; i < pa[k]->value.numel(); ++i) {
+      EXPECT_EQ(pa[k]->value[i], pb[k]->value[i]);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsNameMismatch) {
+  Rng rng(12);
+  Linear a(2, 2, rng, "alpha");
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rlplan_nn_test2.bin")
+          .string();
+  save_parameters(a.parameters(), path);
+  Linear b(2, 2, rng, "beta");
+  EXPECT_THROW(load_parameters(b.parameters(), path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Rng rng(13);
+  Linear a(2, 2, rng, "same");
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rlplan_nn_test3.bin")
+          .string();
+  save_parameters(a.parameters(), path);
+  Linear b(2, 3, rng, "same");
+  EXPECT_THROW(load_parameters(b.parameters(), path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rlplan::nn

@@ -1,0 +1,102 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace rlplan::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize f(w) = sum (w - target)^2 by hand-fed gradients.
+  Parameter w("w", {3});
+  w.value[0] = 5.0f;
+  w.value[1] = -3.0f;
+  w.value[2] = 0.5f;
+  const float target[3] = {1.0f, 2.0f, -1.0f};
+
+  AdamConfig config;
+  config.lr = 0.1f;
+  Adam opt({&w}, config);
+  for (int step = 0; step < 500; ++step) {
+    opt.zero_grad();
+    for (int i = 0; i < 3; ++i) {
+      w.grad[i] = 2.0f * (w.value[i] - target[i]);
+    }
+    opt.step();
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w.value[i], target[i], 1e-2);
+  EXPECT_EQ(opt.step_count(), 500);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Adam's bias-corrected first update is ~lr * sign(g).
+  for (float g : {0.001f, 1.0f, 1000.0f}) {
+    Parameter w("w", {1});
+    AdamConfig config;
+    config.lr = 0.01f;
+    Adam opt({&w}, config);
+    w.grad[0] = g;
+    opt.step();
+    EXPECT_NEAR(w.value[0], -0.01f, 1e-4) << "grad scale " << g;
+  }
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  Parameter w("w", {1});
+  w.value[0] = 1.0f;
+  AdamConfig config;
+  config.lr = 0.05f;
+  config.weight_decay = 0.1f;
+  Adam opt({&w}, config);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();  // zero task gradient: decay only
+    opt.step();
+  }
+  EXPECT_LT(std::abs(w.value[0]), 1.0f);
+}
+
+TEST(Adam, SetLr) {
+  Parameter w("w", {1});
+  Adam opt({&w});
+  opt.set_lr(0.5f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+}
+
+TEST(ClipGradNorm, NoClipBelowThreshold) {
+  Parameter w("w", {2});
+  w.grad[0] = 0.3f;
+  w.grad[1] = 0.4f;  // norm 0.5
+  const double norm = clip_grad_norm({&w}, 1.0);
+  EXPECT_NEAR(norm, 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(w.grad[0], 0.3f);
+}
+
+TEST(ClipGradNorm, RescalesAboveThreshold) {
+  Parameter w("w", {2});
+  w.grad[0] = 3.0f;
+  w.grad[1] = 4.0f;  // norm 5
+  const double norm = clip_grad_norm({&w}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(std::hypot(w.grad[0], w.grad[1]), 1.0, 1e-5);
+  // Direction preserved.
+  EXPECT_NEAR(w.grad[1] / w.grad[0], 4.0 / 3.0, 1e-5);
+}
+
+TEST(ClipGradNorm, GlobalAcrossParameters) {
+  Parameter a("a", {1}), b("b", {1});
+  a.grad[0] = 3.0f;
+  b.grad[0] = 4.0f;
+  clip_grad_norm({&a, &b}, 1.0);
+  EXPECT_NEAR(std::hypot(a.grad[0], b.grad[0]), 1.0, 1e-5);
+}
+
+TEST(ClipGradNorm, ZeroGradientsSafe) {
+  Parameter w("w", {3});
+  const double norm = clip_grad_norm({&w}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 0.0);
+}
+
+}  // namespace
+}  // namespace rlplan::nn

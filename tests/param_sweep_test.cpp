@@ -1,0 +1,214 @@
+// Parameterized property sweeps (TEST_P) across the substrate's key
+// configuration axes: thermal grid resolution, environment grid size,
+// reward hyper-parameters, and policy-net topology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/reward.h"
+#include "rl/env.h"
+#include "rl/policy_net.h"
+#include "systems/synthetic.h"
+#include "thermal/evaluator.h"
+#include "thermal/grid_solver.h"
+
+namespace rlplan {
+namespace {
+
+// ---------------------------------------------------------------------
+// Thermal solver invariants across grid resolutions.
+class SolverGridSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolverGridSweep, PhysicalInvariantsHold) {
+  const std::size_t g = GetParam();
+  const auto stack = thermal::LayerStack::default_2p5d();
+  const ChipletSystem sys("sweep", 40.0, 40.0,
+                          {{"a", 10.0, 8.0, 25.0}, {"b", 6.0, 6.0, 12.0}},
+                          {});
+  Floorplan fp(sys);
+  fp.place(0, {6.0, 16.0});
+  fp.place(1, {26.0, 16.0});
+
+  thermal::GridSolverConfig config{.dims = {g, g}};
+  config.warm_start = false;
+  thermal::GridThermalSolver solver(stack, config);
+  const auto result = solver.solve(sys, fp);
+
+  EXPECT_TRUE(result.cg.converged) << "grid " << g;
+  // Everything is warmer than ambient and below a sane ceiling.
+  EXPECT_GT(result.chiplet_temp_c[0], stack.ambient_c());
+  EXPECT_GT(result.chiplet_temp_c[1], stack.ambient_c());
+  EXPECT_LT(result.max_temp_c, 150.0);
+  // The 25 W die runs hotter than the 12 W die (similar sizes).
+  EXPECT_GT(result.chiplet_temp_c[0], result.chiplet_temp_c[1]);
+  // Peak equals the max per-chiplet temperature.
+  EXPECT_DOUBLE_EQ(
+      result.max_temp_c,
+      std::max(result.chiplet_temp_c[0], result.chiplet_temp_c[1]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, SolverGridSweep,
+                         ::testing::Values(16, 24, 32, 48, 60));
+
+// ---------------------------------------------------------------------
+// Environment invariants across action-grid sizes and spacing rules.
+class NullEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  double max_temperature(const ChipletSystem&, const Floorplan&) override {
+    return 50.0;
+  }
+  long num_evaluations() const override { return 0; }
+  std::string name() const override { return "null"; }
+};
+
+class EnvGridSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(EnvGridSweep, RandomEpisodesStayLegal) {
+  const auto [grid, spacing] = GetParam();
+  systems::SyntheticConfig sc;
+  sc.interposer_w_mm = 36.0;
+  sc.interposer_h_mm = 36.0;
+  const auto sys = systems::SyntheticSystemGenerator(sc).generate(11);
+  NullEvaluator eval;
+  rl::FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                       {.grid = grid, .spacing_mm = spacing});
+  Rng rng(grid * 1000 + static_cast<std::uint64_t>(spacing * 10));
+  for (int ep = 0; ep < 20; ++ep) {
+    env.reset();
+    while (!env.done()) {
+      const auto& mask = env.action_mask();
+      std::size_t pick = mask.size();
+      // Random feasible action.
+      for (int tries = 0; tries < 2000; ++tries) {
+        const auto a = rng.uniform_int(std::uint64_t{mask.size()});
+        if (mask[a] != 0) {
+          pick = a;
+          break;
+        }
+      }
+      ASSERT_LT(pick, mask.size());
+      const auto out = env.step(pick);
+      if (out.dead_end) break;
+      // Invariant: every placed prefix is legal under the spacing rule.
+      for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+        if (!env.floorplan().is_placed(i)) continue;
+        const auto& p = *env.floorplan().placement(i);
+        EXPECT_TRUE(
+            env.floorplan().can_place(i, p.position, p.rotated, spacing))
+            << "grid " << grid << " spacing " << spacing;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndSpacing, EnvGridSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 12, 16, 24),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+// ---------------------------------------------------------------------
+// Reward function properties across hyper-parameters.
+class RewardSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(RewardSweep, MonotoneAndContinuous) {
+  const auto [lambda, mu, alpha] = GetParam();
+  RewardParams params;
+  params.lambda = lambda;
+  params.mu = mu;
+  params.alpha = alpha;
+  params.t0_celsius = 85.0;
+  const RewardCalculator rc(params);
+
+  // Monotone decreasing in wirelength.
+  double prev = rc.reward(0.0, 70.0);
+  for (double wl = 1000.0; wl <= 5000.0; wl += 1000.0) {
+    const double r = rc.reward(wl, 70.0);
+    if (lambda > 0.0) {
+      EXPECT_LT(r, prev);
+    } else {
+      EXPECT_DOUBLE_EQ(r, prev);
+    }
+    prev = r;
+  }
+  // Monotone non-increasing in temperature.
+  prev = rc.reward(1000.0, 60.0);
+  for (double t = 70.0; t <= 110.0; t += 5.0) {
+    const double r = rc.reward(1000.0, t);
+    EXPECT_LE(r, prev + 1e-12);
+    prev = r;
+  }
+  // Continuity at the threshold.
+  EXPECT_NEAR(rc.reward(1000.0, 85.0 - 1e-7), rc.reward(1000.0, 85.0 + 1e-7),
+              1e-4);
+  // Always non-positive.
+  EXPECT_LE(rc.reward(123.0, 95.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hyperparams, RewardSweep,
+    ::testing::Combine(::testing::Values(0.0, 1e-4, 1e-3),
+                       ::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(1.0, 1.5, 2.0)));
+
+// ---------------------------------------------------------------------
+// Policy net shape correctness across grid/channel configurations.
+class PolicyNetSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PolicyNetSweep, ShapesAndFiniteOutputs) {
+  const auto [grid, fc] = GetParam();
+  Rng rng(99);
+  rl::PolicyNetConfig config;
+  config.grid = grid;
+  config.fc = fc;
+  config.conv1 = 4;
+  config.conv2 = 4;
+  config.conv3 = 4;
+  rl::PolicyValueNet net(config, rng);
+  nn::Tensor x({2, config.channels_in, grid, grid});
+  Rng xr(7);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(xr.uniform(-1.0, 1.0));
+  }
+  const auto out = net.forward(x);
+  ASSERT_EQ(out.logits.shape(), (std::vector<std::size_t>{2, grid * grid}));
+  ASSERT_EQ(out.value.shape(), (std::vector<std::size_t>{2, 1}));
+  for (std::size_t i = 0; i < out.logits.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.logits[i]));
+  }
+  EXPECT_TRUE(std::isfinite(out.value[0]));
+  // Parameter count grows with fc width.
+  EXPECT_GE(net.parameters().size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PolicyNetSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 16, 24),
+                       ::testing::Values<std::size_t>(16, 64)));
+
+// ---------------------------------------------------------------------
+// Synthetic generator sanity across seed ranges (batch property test).
+class SyntheticSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyntheticSeedSweep, ValidConnectedPlaceable) {
+  const std::uint64_t base = GetParam();
+  const systems::SyntheticSystemGenerator gen;
+  for (std::uint64_t s = base; s < base + 10; ++s) {
+    const auto sys = gen.generate(s);
+    EXPECT_NO_THROW(sys.validate());
+    EXPECT_TRUE(is_connected(sys.num_chiplets(), sys.nets()));
+    Rng rng(s + 1);
+    const auto fp = systems::random_legal_floorplan(sys, rng);
+    EXPECT_TRUE(fp.is_legal());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBlocks, SyntheticSeedSweep,
+                         ::testing::Values(0, 100, 10000, 123456789));
+
+}  // namespace
+}  // namespace rlplan

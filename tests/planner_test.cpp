@@ -1,0 +1,153 @@
+#include "rl/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "systems/synthetic.h"
+#include "thermal/characterize.h"
+
+namespace rlplan::rl {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    stack_ = new thermal::LayerStack(thermal::LayerStack::default_2p5d());
+    systems::SyntheticConfig sc;
+    sc.interposer_w_mm = 28.0;
+    sc.interposer_h_mm = 28.0;
+    sc.min_chiplets = 3;
+    sc.max_chiplets = 3;
+    sc.min_dim_mm = 5.0;
+    sc.max_dim_mm = 8.0;
+    sc.min_power_w = 5.0;
+    sc.max_power_w = 15.0;
+    system_ = new ChipletSystem(
+        systems::SyntheticSystemGenerator(sc).generate(5, "planner-test"));
+    thermal::CharacterizationConfig cc;
+    cc.solver.dims = {20, 20};
+    cc.auto_axis_points = 3;
+    thermal::ThermalCharacterizer charac(*stack_, cc);
+    model_ = new thermal::FastThermalModel(charac.characterize(28.0, 28.0));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete system_;
+    delete stack_;
+  }
+  static RlPlannerConfig tiny_config() {
+    RlPlannerConfig config;
+    config.env.grid = 8;
+    config.net.grid = 8;
+    config.net.conv1 = 2;
+    config.net.conv2 = 2;
+    config.net.conv3 = 2;
+    config.net.fc = 16;
+    config.epochs = 2;
+    config.ppo.episodes_per_update = 3;
+    config.solver.dims = {20, 20};
+    config.seed = 3;
+    return config;
+  }
+
+  static thermal::LayerStack* stack_;
+  static ChipletSystem* system_;
+  static thermal::FastThermalModel* model_;
+};
+
+thermal::LayerStack* PlannerTest::stack_ = nullptr;
+ChipletSystem* PlannerTest::system_ = nullptr;
+thermal::FastThermalModel* PlannerTest::model_ = nullptr;
+
+TEST_F(PlannerTest, PlanWithPrebuiltModel) {
+  RlPlanner planner(tiny_config());
+  const auto result = planner.plan_with_model(*system_, *stack_, *model_);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.best->is_legal());
+  EXPECT_EQ(result.epochs_run, 2);
+  EXPECT_DOUBLE_EQ(result.characterization_s, 0.0);  // model was prebuilt
+  EXPECT_GT(result.env_steps, 0);
+}
+
+TEST_F(PlannerTest, PlanCharacterizesWhenNeeded) {
+  RlPlannerConfig config = tiny_config();
+  config.characterization.solver.dims = {16, 16};
+  config.characterization.auto_axis_points = 3;
+  RlPlanner planner(config);
+  const auto result = planner.plan(*system_, *stack_);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_GT(result.characterization_s, 0.0);
+}
+
+TEST_F(PlannerTest, GridSolverBackendWorks) {
+  RlPlannerConfig config = tiny_config();
+  config.backend = ThermalBackend::kGridSolver;
+  config.epochs = 1;
+  RlPlanner planner(config);
+  const auto result = planner.plan(*system_, *stack_);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.best->is_legal());
+}
+
+TEST_F(PlannerTest, TimeBudgetStopsEarly) {
+  RlPlannerConfig config = tiny_config();
+  config.epochs = 100000;
+  config.time_budget_s = 0.3;
+  RlPlanner planner(config);
+  const auto result = planner.plan_with_model(*system_, *stack_, *model_);
+  EXPECT_LT(result.epochs_run, 100000);
+  EXPECT_GE(result.train_s, 0.25);
+  EXPECT_LT(result.train_s, 10.0);
+}
+
+TEST_F(PlannerTest, HistoryMatchesEpochsRun) {
+  RlPlanner planner(tiny_config());
+  const auto result = planner.plan_with_model(*system_, *stack_, *model_);
+  EXPECT_EQ(result.history.size(),
+            static_cast<std::size_t>(result.epochs_run));
+}
+
+TEST_F(PlannerTest, GroundTruthScoresAreConsistent) {
+  RlPlanner planner(tiny_config());
+  const auto result = planner.plan_with_model(*system_, *stack_, *model_);
+  // final_reward must equal the reward recomputed from its parts.
+  const RewardCalculator rc(planner.config().reward);
+  EXPECT_NEAR(result.final_reward,
+              rc.reward(result.final_wirelength_mm,
+                        result.final_temperature_c),
+              1e-9);
+}
+
+TEST(FirstFit, ProducesLegalPlacements) {
+  systems::SyntheticConfig sc;
+  const systems::SyntheticSystemGenerator gen(sc);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto sys = gen.generate(seed);
+    EnvConfig config;
+    config.grid = 32;
+    const Floorplan fp = first_fit_floorplan(sys, config);
+    EXPECT_TRUE(fp.is_complete());
+    EXPECT_TRUE(fp.is_legal());
+  }
+}
+
+TEST(FirstFit, ThrowsWhenNothingFits) {
+  // Two dies that cannot coexist on the interposer at grid positions.
+  const ChipletSystem sys("nofit", 10.0, 10.0,
+                          {{"a", 9.0, 9.0, 1.0}, {"b", 9.0, 9.0, 1.0}}, {});
+  EnvConfig config;
+  config.grid = 8;
+  EXPECT_THROW(first_fit_floorplan(sys, config), std::runtime_error);
+}
+
+TEST(FirstFit, RespectsSpacing) {
+  const ChipletSystem sys("sp", 30.0, 30.0,
+                          {{"a", 8.0, 8.0, 1.0}, {"b", 8.0, 8.0, 1.0}}, {});
+  EnvConfig config;
+  config.grid = 32;
+  config.spacing_mm = 2.0;
+  const Floorplan fp = first_fit_floorplan(sys, config);
+  EXPECT_TRUE(fp.is_legal(2.0));
+}
+
+}  // namespace
+}  // namespace rlplan::rl

@@ -1,0 +1,170 @@
+#include "rl/ppo.h"
+
+#include <gtest/gtest.h>
+
+#include "thermal/evaluator.h"
+
+namespace rlplan::rl {
+namespace {
+
+// Cheap geometric evaluator (compactness ~ heat) so PPO tests avoid
+// characterization entirely.
+class ProxyEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    ++count_;
+    double worst = 45.0;
+    const auto rects = floorplan.placed_rects();
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (!rects[i]) continue;
+      double t = 45.0 + 1.2 * system.chiplet(i).power;
+      for (std::size_t j = 0; j < rects.size(); ++j) {
+        if (j == i || !rects[j]) continue;
+        const double d = center_distance(*rects[i], *rects[j]);
+        t += system.chiplet(j).power / (1.0 + 0.3 * d);
+      }
+      worst = std::max(worst, t);
+    }
+    return worst;
+  }
+  long num_evaluations() const override { return count_; }
+  std::string name() const override { return "proxy"; }
+
+ private:
+  long count_ = 0;
+};
+
+ChipletSystem tiny_system() {
+  return ChipletSystem("ppo", 24.0, 24.0,
+                       {{"a", 8.0, 8.0, 25.0},
+                        {"b", 6.0, 6.0, 12.0},
+                        {"c", 5.0, 5.0, 8.0}},
+                       {{0, 1, 64}, {1, 2, 32}, {0, 2, 16}});
+}
+
+PpoConfig small_ppo(std::uint64_t seed) {
+  PpoConfig config;
+  config.episodes_per_update = 6;
+  config.minibatch = 16;
+  config.seed = seed;
+  return config;
+}
+
+PolicyNetConfig tiny_net() {
+  PolicyNetConfig config;
+  config.conv1 = 4;
+  config.conv2 = 4;
+  config.conv3 = 4;
+  config.fc = 32;
+  return config;
+}
+
+TEST(PpoTrainer, TrainEpochProducesStats) {
+  const auto sys = tiny_system();
+  ProxyEvaluator eval;
+  FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                   {.grid = 12});
+  PpoTrainer trainer(env, tiny_net(), small_ppo(3));
+  const TrainStats stats = trainer.train_epoch();
+  EXPECT_EQ(stats.episodes, 6u);
+  EXPECT_EQ(stats.steps, 18u);  // 3 placements per episode
+  EXPECT_LT(stats.mean_reward, 0.0);
+  EXPECT_GT(stats.entropy, 0.0);
+  EXPECT_GT(trainer.total_env_steps(), 0);
+}
+
+TEST(PpoTrainer, TracksBestFloorplan) {
+  const auto sys = tiny_system();
+  ProxyEvaluator eval;
+  FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                   {.grid = 12});
+  PpoTrainer trainer(env, tiny_net(), small_ppo(4));
+  EXPECT_FALSE(trainer.has_best());
+  EXPECT_THROW(trainer.best_floorplan(), std::logic_error);
+  trainer.train_epoch();
+  ASSERT_TRUE(trainer.has_best());
+  EXPECT_TRUE(trainer.best_floorplan().is_complete());
+  EXPECT_TRUE(trainer.best_metrics().valid);
+  // Best must be at least as good as any epoch's mean.
+  const TrainStats s2 = trainer.train_epoch();
+  EXPECT_GE(trainer.best_metrics().reward, s2.mean_reward - 1e-9);
+}
+
+TEST(PpoTrainer, DeterministicGivenSeed) {
+  const auto sys = tiny_system();
+  auto run = [&](std::uint64_t seed) {
+    ProxyEvaluator eval;
+    FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                     {.grid = 12});
+    PpoTrainer trainer(env, tiny_net(), small_ppo(seed));
+    return trainer.train_epoch().mean_reward;
+  };
+  EXPECT_DOUBLE_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(PpoTrainer, LearnsOnTinyProblem) {
+  // Mean reward over late epochs should beat the first epoch meaningfully.
+  const auto sys = tiny_system();
+  ProxyEvaluator eval;
+  FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                   {.grid = 12});
+  PpoConfig config = small_ppo(5);
+  config.episodes_per_update = 10;
+  config.adam.lr = 1e-3f;
+  PpoTrainer trainer(env, tiny_net(), config);
+  const double first = trainer.train_epoch().mean_reward;
+  double late = 0.0;
+  const int total = 12;
+  double best_mean = first;
+  for (int i = 1; i < total; ++i) {
+    late = trainer.train_epoch().mean_reward;
+    best_mean = std::max(best_mean, late);
+  }
+  EXPECT_GT(best_mean, first) << "PPO never improved over its first epoch";
+}
+
+TEST(PpoTrainer, GreedyEpisodeReturnsValidMetrics) {
+  const auto sys = tiny_system();
+  ProxyEvaluator eval;
+  FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                   {.grid = 12});
+  PpoTrainer trainer(env, tiny_net(), small_ppo(6));
+  trainer.train_epoch();
+  const EpisodeMetrics m = trainer.greedy_episode();
+  EXPECT_TRUE(m.valid);
+  EXPECT_LT(m.reward, 0.0);
+  EXPECT_GT(m.wirelength_mm, 0.0);
+}
+
+TEST(PpoTrainer, RndVariantRuns) {
+  const auto sys = tiny_system();
+  ProxyEvaluator eval;
+  FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                   {.grid = 12});
+  PpoConfig config = small_ppo(9);
+  config.use_rnd = true;
+  PpoTrainer trainer(env, tiny_net(), config);
+  const TrainStats stats = trainer.train_epoch();
+  EXPECT_GT(stats.rnd_error, 0.0) << "RND predictor error should be nonzero";
+  // Intrinsic rewards must have been recorded.
+  const TrainStats stats2 = trainer.train_epoch();
+  EXPECT_GE(stats2.episodes, 1u);
+}
+
+TEST(PpoTrainer, RewardNormalizationToggleBothRun) {
+  const auto sys = tiny_system();
+  for (bool normalize : {true, false}) {
+    ProxyEvaluator eval;
+    FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                     {.grid = 12});
+    PpoConfig config = small_ppo(10);
+    config.normalize_rewards = normalize;
+    PpoTrainer trainer(env, tiny_net(), config);
+    EXPECT_NO_THROW(trainer.train_epoch());
+  }
+}
+
+}  // namespace
+}  // namespace rlplan::rl

@@ -1,0 +1,126 @@
+#include "thermal/resistance_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rlplan::thermal {
+namespace {
+
+SelfResistanceTable make_self() {
+  // R(w, h) = w + 10 h over a small grid (exactly bilinear).
+  const std::vector<double> widths{2.0, 6.0, 10.0};
+  const std::vector<double> heights{3.0, 9.0};
+  std::vector<std::vector<double>> values(3, std::vector<double>(2));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      values[i][j] = widths[i] + 10.0 * heights[j];
+    }
+  }
+  return SelfResistanceTable(widths, heights, values);
+}
+
+TEST(SelfTable, ExactAtNodes) {
+  const auto table = make_self();
+  EXPECT_DOUBLE_EQ(table.lookup(2.0, 3.0), 32.0);
+  EXPECT_DOUBLE_EQ(table.lookup(10.0, 9.0), 100.0);
+}
+
+TEST(SelfTable, BilinearIsExactForBilinearFunction) {
+  const auto table = make_self();
+  for (double w : {2.5, 4.0, 7.7, 9.9}) {
+    for (double h : {3.1, 5.5, 8.9}) {
+      EXPECT_NEAR(table.lookup(w, h), w + 10.0 * h, 1e-12);
+    }
+  }
+}
+
+TEST(SelfTable, ClampsOutsideRange) {
+  const auto table = make_self();
+  EXPECT_DOUBLE_EQ(table.lookup(0.5, 3.0), table.lookup(2.0, 3.0));
+  EXPECT_DOUBLE_EQ(table.lookup(99.0, 9.0), table.lookup(10.0, 9.0));
+  EXPECT_DOUBLE_EQ(table.lookup(6.0, -1.0), table.lookup(6.0, 3.0));
+  EXPECT_DOUBLE_EQ(table.lookup(6.0, 100.0), table.lookup(6.0, 9.0));
+}
+
+TEST(SelfTable, RejectsMalformedAxes) {
+  EXPECT_THROW(SelfResistanceTable({1.0}, {1.0, 2.0}, {{1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SelfResistanceTable({2.0, 1.0}, {1.0, 2.0},
+                          {{1.0, 2.0}, {3.0, 4.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SelfResistanceTable({1.0, 2.0}, {1.0, 2.0}, {{1.0, 2.0}}),
+      std::invalid_argument);
+}
+
+TEST(SelfTable, LookupOnEmptyThrows) {
+  const SelfResistanceTable empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.lookup(1.0, 1.0), std::logic_error);
+}
+
+TEST(SelfTable, SaveLoadRoundtrip) {
+  const auto table = make_self();
+  std::stringstream ss;
+  table.save(ss);
+  const auto loaded = SelfResistanceTable::load(ss);
+  EXPECT_EQ(loaded.widths(), table.widths());
+  EXPECT_EQ(loaded.heights(), table.heights());
+  for (double w : {2.0, 5.5, 10.0}) {
+    for (double h : {3.0, 6.2, 9.0}) {
+      EXPECT_DOUBLE_EQ(loaded.lookup(w, h), table.lookup(w, h));
+    }
+  }
+}
+
+TEST(SelfTable, LoadRejectsBadHeader) {
+  std::stringstream ss("not_a_table v1\n");
+  EXPECT_THROW(SelfResistanceTable::load(ss), std::runtime_error);
+}
+
+MutualResistanceTable make_mutual() {
+  return MutualResistanceTable({0.0, 10.0, 20.0, 40.0},
+                               {1.0, 0.5, 0.3, 0.2});
+}
+
+TEST(MutualTable, ExactAtNodes) {
+  const auto table = make_mutual();
+  EXPECT_DOUBLE_EQ(table.lookup(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(table.lookup(20.0), 0.3);
+}
+
+TEST(MutualTable, LinearBetweenNodes) {
+  const auto table = make_mutual();
+  EXPECT_DOUBLE_EQ(table.lookup(5.0), 0.75);
+  EXPECT_DOUBLE_EQ(table.lookup(30.0), 0.25);
+}
+
+TEST(MutualTable, ClampsAtEnds) {
+  const auto table = make_mutual();
+  EXPECT_DOUBLE_EQ(table.lookup(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(table.lookup(100.0), 0.2);
+}
+
+TEST(MutualTable, RejectsMalformed) {
+  EXPECT_THROW(MutualResistanceTable({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(MutualResistanceTable({2.0, 1.0}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(MutualResistanceTable({1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(MutualTable, SaveLoadRoundtrip) {
+  const auto table = make_mutual();
+  std::stringstream ss;
+  table.save(ss);
+  const auto loaded = MutualResistanceTable::load(ss);
+  for (double d : {0.0, 7.3, 15.0, 40.0, 50.0}) {
+    EXPECT_DOUBLE_EQ(loaded.lookup(d), table.lookup(d));
+  }
+}
+
+}  // namespace
+}  // namespace rlplan::thermal

@@ -1,0 +1,113 @@
+#include "core/reward.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlplan {
+namespace {
+
+TEST(Reward, PureWirelengthBelowThermalLimit) {
+  RewardParams p;
+  p.lambda = 1e-3;
+  p.mu = 1.0;
+  p.t0_celsius = 85.0;
+  const RewardCalculator calc(p);
+  // Far below T0 the thermal term vanishes.
+  EXPECT_NEAR(calc.reward(1000.0, 40.0), -1.0, 1e-9);
+  EXPECT_NEAR(calc.reward(0.0, 40.0), 0.0, 1e-9);
+}
+
+TEST(Reward, ThermalPenaltyZeroAtAndBelowLimit) {
+  const RewardCalculator calc;
+  EXPECT_DOUBLE_EQ(calc.thermal_penalty(85.0), 0.0);
+  EXPECT_DOUBLE_EQ(calc.thermal_penalty(60.0), 0.0);
+}
+
+TEST(Reward, ThermalPenaltyMatchesFormula) {
+  RewardParams p;
+  p.mu = 2.0;
+  p.t0_celsius = 85.0;
+  p.alpha = 1.0;
+  const RewardCalculator calc(p);
+  const double t = 90.0;
+  const double dt = t - 85.0;
+  const double expected = 2.0 * dt / (1.0 + std::exp(-dt));
+  EXPECT_NEAR(calc.thermal_penalty(t), expected, 1e-12);
+}
+
+TEST(Reward, AlphaExponentApplied) {
+  RewardParams p;
+  p.mu = 1.0;
+  p.alpha = 2.0;
+  p.t0_celsius = 80.0;
+  const RewardCalculator calc(p);
+  const double dt = 4.0;
+  const double expected = dt * dt / (1.0 + std::exp(-dt));
+  EXPECT_NEAR(calc.thermal_penalty(84.0), expected, 1e-12);
+}
+
+TEST(Reward, MonotoneDecreasingInWirelength) {
+  const RewardCalculator calc;
+  EXPECT_GT(calc.reward(1000.0, 70.0), calc.reward(2000.0, 70.0));
+}
+
+TEST(Reward, MonotoneDecreasingInTemperatureAboveLimit) {
+  const RewardCalculator calc;
+  double prev = calc.reward(1000.0, 85.0);
+  for (double t = 86.0; t < 110.0; t += 1.0) {
+    const double r = calc.reward(1000.0, t);
+    EXPECT_LT(r, prev) << "at T=" << t;
+    prev = r;
+  }
+}
+
+TEST(Reward, ContinuousAcrossLimit) {
+  // The smoothed overshoot must not jump at T = T0.
+  const RewardCalculator calc;
+  const double below = calc.reward(1000.0, 84.9999);
+  const double at = calc.reward(1000.0, 85.0);
+  const double above = calc.reward(1000.0, 85.0001);
+  EXPECT_NEAR(below, at, 1e-3);
+  EXPECT_NEAR(above, at, 1e-3);
+}
+
+TEST(Reward, CostIsNegatedReward) {
+  const RewardCalculator calc;
+  EXPECT_DOUBLE_EQ(calc.cost(1234.0, 92.0), -calc.reward(1234.0, 92.0));
+}
+
+TEST(Reward, RejectsNegativeWeights) {
+  RewardParams p;
+  p.lambda = -1.0;
+  EXPECT_THROW(RewardCalculator{p}, std::invalid_argument);
+  p.lambda = 1.0;
+  p.mu = -0.5;
+  EXPECT_THROW(RewardCalculator{p}, std::invalid_argument);
+}
+
+TEST(Reward, RejectsAlphaBelowOne) {
+  RewardParams p;
+  p.alpha = 0.5;
+  EXPECT_THROW(RewardCalculator{p}, std::invalid_argument);
+}
+
+TEST(Reward, AlwaysNonPositive) {
+  const RewardCalculator calc;
+  for (double wl : {0.0, 10.0, 1e5}) {
+    for (double t : {20.0, 85.0, 120.0}) {
+      EXPECT_LE(calc.reward(wl, t), 0.0);
+    }
+  }
+}
+
+TEST(Reward, DeepUnderflowGuard) {
+  const RewardCalculator calc;
+  // Very cold temperatures must not produce NaN from sigmoid underflow.
+  const double r = calc.reward(100.0, -200.0);
+  EXPECT_TRUE(std::isfinite(r));
+}
+
+}  // namespace
+}  // namespace rlplan

@@ -1,0 +1,138 @@
+#include "systems/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "systems/systems.h"
+
+namespace rlplan::systems {
+namespace {
+
+constexpr const char* kValid = R"(
+# a demo system
+system demo
+interposer 30 30
+chiplet cpu 9 9 30
+chiplet gpu 10 8 35   # inline comment
+net cpu gpu 256
+)";
+
+TEST(SystemIo, ParsesValidFile) {
+  std::istringstream is(kValid);
+  const ChipletSystem sys = read_system(is);
+  EXPECT_EQ(sys.name(), "demo");
+  EXPECT_DOUBLE_EQ(sys.interposer_width(), 30.0);
+  ASSERT_EQ(sys.num_chiplets(), 2u);
+  EXPECT_EQ(sys.chiplet(0).name, "cpu");
+  EXPECT_DOUBLE_EQ(sys.chiplet(1).power, 35.0);
+  ASSERT_EQ(sys.nets().size(), 1u);
+  EXPECT_EQ(sys.nets()[0].wires, 256);
+}
+
+TEST(SystemIo, RoundtripPreservesEverything) {
+  const ChipletSystem original = make_multi_gpu_system();
+  std::stringstream ss;
+  write_system(original, ss);
+  const ChipletSystem parsed = read_system(ss);
+  EXPECT_EQ(parsed.name(), original.name());
+  ASSERT_EQ(parsed.num_chiplets(), original.num_chiplets());
+  for (std::size_t i = 0; i < original.num_chiplets(); ++i) {
+    EXPECT_EQ(parsed.chiplet(i).name, original.chiplet(i).name);
+    EXPECT_DOUBLE_EQ(parsed.chiplet(i).width, original.chiplet(i).width);
+    EXPECT_DOUBLE_EQ(parsed.chiplet(i).power, original.chiplet(i).power);
+  }
+  ASSERT_EQ(parsed.nets().size(), original.nets().size());
+  for (std::size_t i = 0; i < original.nets().size(); ++i) {
+    EXPECT_EQ(parsed.nets()[i], original.nets()[i]);
+  }
+}
+
+TEST(SystemIo, RejectsUnknownKeyword) {
+  std::istringstream is("system x\ninterposer 10 10\nfrobnicate 1 2\n");
+  EXPECT_THROW(read_system(is), std::runtime_error);
+}
+
+TEST(SystemIo, RejectsUnknownNetEndpoint) {
+  std::istringstream is(
+      "system x\ninterposer 10 10\nchiplet a 2 2 1\nnet a ghost 8\n");
+  try {
+    read_system(is);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(SystemIo, RejectsDuplicateChiplet) {
+  std::istringstream is(
+      "system x\ninterposer 10 10\nchiplet a 2 2 1\nchiplet a 3 3 1\n");
+  EXPECT_THROW(read_system(is), std::runtime_error);
+}
+
+TEST(SystemIo, RejectsNonNumericField) {
+  std::istringstream is("system x\ninterposer ten 10\n");
+  EXPECT_THROW(read_system(is), std::runtime_error);
+}
+
+TEST(SystemIo, RejectsMissingSystemLine) {
+  std::istringstream is("interposer 10 10\nchiplet a 2 2 1\n");
+  EXPECT_THROW(read_system(is), std::runtime_error);
+}
+
+TEST(SystemIo, ParsedSystemIsValidated) {
+  // Oversized chiplet: parser must surface validate()'s rejection.
+  std::istringstream is("system x\ninterposer 10 10\nchiplet a 20 2 1\n");
+  EXPECT_THROW(read_system(is), std::exception);
+}
+
+TEST(FloorplanIo, RoundtripWithRotation) {
+  std::istringstream sys_is(kValid);
+  const ChipletSystem sys = read_system(sys_is);
+  Floorplan fp(sys);
+  fp.place(0, {1.5, 2.25});
+  fp.place(1, {15.0, 10.0}, /*rotated=*/true);
+
+  std::stringstream ss;
+  write_floorplan(fp, ss);
+  const Floorplan parsed = read_floorplan(ss, sys);
+  ASSERT_TRUE(parsed.is_placed(0));
+  ASSERT_TRUE(parsed.is_placed(1));
+  EXPECT_EQ(parsed.placement(0)->position, (Point{1.5, 2.25}));
+  EXPECT_FALSE(parsed.placement(0)->rotated);
+  EXPECT_TRUE(parsed.placement(1)->rotated);
+}
+
+TEST(FloorplanIo, PartialFloorplanSupported) {
+  std::istringstream sys_is(kValid);
+  const ChipletSystem sys = read_system(sys_is);
+  std::istringstream is("floorplan demo\nplace cpu 1 1\n");
+  const Floorplan fp = read_floorplan(is, sys);
+  EXPECT_TRUE(fp.is_placed(0));
+  EXPECT_FALSE(fp.is_placed(1));
+}
+
+TEST(FloorplanIo, RejectsWrongSystemName) {
+  std::istringstream sys_is(kValid);
+  const ChipletSystem sys = read_system(sys_is);
+  std::istringstream is("floorplan other\n");
+  EXPECT_THROW(read_floorplan(is, sys), std::runtime_error);
+}
+
+TEST(FloorplanIo, RejectsUnknownChiplet) {
+  std::istringstream sys_is(kValid);
+  const ChipletSystem sys = read_system(sys_is);
+  std::istringstream is("floorplan demo\nplace npu 1 1\n");
+  EXPECT_THROW(read_floorplan(is, sys), std::runtime_error);
+}
+
+TEST(FloorplanIo, RejectsBadRotationToken) {
+  std::istringstream sys_is(kValid);
+  const ChipletSystem sys = read_system(sys_is);
+  std::istringstream is("floorplan demo\nplace cpu 1 1 sideways\n");
+  EXPECT_THROW(read_floorplan(is, sys), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlplan::systems

@@ -1,0 +1,156 @@
+#include "systems/systems.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "systems/synthetic.h"
+
+namespace rlplan::systems {
+namespace {
+
+TEST(Benchmarks, AllThreeValidate) {
+  for (const auto& sys : make_benchmark_systems()) {
+    EXPECT_NO_THROW(sys.validate()) << sys.name();
+  }
+  // Multi-GPU and CPU-DRAM are fully connected fabrics; Ascend 910 contains
+  // intentionally unconnected mechanical dummy dies.
+  const auto gpu = make_multi_gpu_system();
+  EXPECT_TRUE(is_connected(gpu.num_chiplets(), gpu.nets()));
+  const auto cpu = make_cpu_dram_system();
+  EXPECT_TRUE(is_connected(cpu.num_chiplets(), cpu.nets()));
+}
+
+TEST(Benchmarks, MultiGpuShape) {
+  const auto sys = make_multi_gpu_system();
+  EXPECT_EQ(sys.name(), "multi-gpu");
+  EXPECT_EQ(sys.num_chiplets(), 9u);  // 4 GPU + switch + 4 HBM
+  EXPECT_NEAR(sys.total_power(), 347.0, 1e-9);
+  EXPECT_GT(sys.total_wires(), 7000);
+  EXPECT_LT(sys.utilization(), 0.5);
+}
+
+TEST(Benchmarks, CpuDramShape) {
+  const auto sys = make_cpu_dram_system();
+  EXPECT_EQ(sys.num_chiplets(), 11u);  // 6 CPU + 4 DRAM + hub
+  EXPECT_NEAR(sys.total_power(), 282.0, 1e-9);
+  // All-to-all core-memory: 24 CPU-DRAM nets present.
+  int cpu_dram_nets = 0;
+  for (const auto& net : sys.nets()) {
+    const bool a_cpu = net.a < 6;
+    const bool b_dram = net.b >= 6 && net.b < 10;
+    if (a_cpu && b_dram) ++cpu_dram_nets;
+  }
+  EXPECT_EQ(cpu_dram_nets, 24);
+}
+
+TEST(Benchmarks, Ascend910Shape) {
+  const auto sys = make_ascend910_system();
+  EXPECT_EQ(sys.num_chiplets(), 8u);
+  // Dummy dies carry no power and no nets.
+  EXPECT_DOUBLE_EQ(sys.chiplet(6).power, 0.0);
+  EXPECT_DOUBLE_EQ(sys.chiplet(7).power, 0.0);
+  for (const auto& net : sys.nets()) {
+    EXPECT_LT(net.a, 6u);
+    EXPECT_LT(net.b, 6u);
+  }
+  // Power scaled for the ~77C operating point (see systems.cpp).
+  EXPECT_LT(sys.total_power(), 150.0);
+}
+
+TEST(Synthetic, DeterministicGeneration) {
+  const SyntheticSystemGenerator gen;
+  const auto a = gen.generate(42);
+  const auto b = gen.generate(42);
+  ASSERT_EQ(a.num_chiplets(), b.num_chiplets());
+  for (std::size_t i = 0; i < a.num_chiplets(); ++i) {
+    EXPECT_EQ(a.chiplet(i).width, b.chiplet(i).width);
+    EXPECT_EQ(a.chiplet(i).power, b.chiplet(i).power);
+  }
+  ASSERT_EQ(a.nets().size(), b.nets().size());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const SyntheticSystemGenerator gen;
+  const auto a = gen.generate(1);
+  const auto b = gen.generate(2);
+  const bool differs = a.num_chiplets() != b.num_chiplets() ||
+                       a.chiplet(0).width != b.chiplet(0).width;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, GeneratedSystemsAreValidAndConnected) {
+  const SyntheticSystemGenerator gen;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto sys = gen.generate(seed);
+    EXPECT_NO_THROW(sys.validate()) << "seed " << seed;
+    EXPECT_TRUE(is_connected(sys.num_chiplets(), sys.nets()))
+        << "seed " << seed;
+    EXPECT_LE(sys.utilization(), gen.config().max_utilization + 0.15)
+        << "seed " << seed;
+  }
+}
+
+TEST(Synthetic, RespectsConfigRanges) {
+  SyntheticConfig config;
+  config.min_chiplets = 3;
+  config.max_chiplets = 5;
+  config.min_dim_mm = 6.0;
+  config.max_dim_mm = 9.0;
+  config.min_power_w = 10.0;
+  config.max_power_w = 12.0;
+  const SyntheticSystemGenerator gen(config);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto sys = gen.generate(seed);
+    EXPECT_GE(sys.num_chiplets(), 3u);
+    EXPECT_LE(sys.num_chiplets(), 5u);
+    for (const auto& c : sys.chiplets()) {
+      EXPECT_GE(c.width, 6.0);
+      EXPECT_LE(c.width, 9.0);
+      EXPECT_GE(c.power, 10.0);
+      EXPECT_LE(c.power, 12.0);
+    }
+  }
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.min_chiplets = 1;
+  EXPECT_THROW(SyntheticSystemGenerator{config}, std::invalid_argument);
+  config = {};
+  config.max_dim_mm = config.min_dim_mm - 1.0;
+  EXPECT_THROW(SyntheticSystemGenerator{config}, std::invalid_argument);
+}
+
+TEST(Synthetic, RandomLegalFloorplanIsLegal) {
+  const SyntheticSystemGenerator gen;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto sys = gen.generate(seed);
+    Rng rng(seed * 31 + 7);
+    const auto fp = random_legal_floorplan(sys, rng);
+    EXPECT_TRUE(fp.is_complete()) << "seed " << seed;
+    EXPECT_TRUE(fp.is_legal()) << "seed " << seed;
+  }
+}
+
+TEST(Synthetic, Table3CasesAreFixedAndValid) {
+  const auto cases = make_table3_cases();
+  ASSERT_EQ(cases.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& sys : cases) {
+    EXPECT_NO_THROW(sys.validate());
+    names.insert(sys.name());
+    EXPECT_DOUBLE_EQ(sys.interposer_width(), 40.0);
+    // Powers chosen for the 75-95 degC window.
+    EXPECT_LT(sys.total_power(), 160.0);
+  }
+  EXPECT_EQ(names.size(), 5u);  // distinct cases
+  // Regenerating gives identical systems (fixed seeds).
+  const auto again = make_table3_cases();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(cases[i].num_chiplets(), again[i].num_chiplets());
+  }
+}
+
+}  // namespace
+}  // namespace rlplan::systems

@@ -1,0 +1,151 @@
+#include "sa/tap25d.h"
+
+#include <gtest/gtest.h>
+
+#include "rl/planner.h"
+#include "thermal/evaluator.h"
+
+namespace rlplan::sa {
+namespace {
+
+// Geometric proxy evaluator: compact packings run hotter.
+class ProxyEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    ++count_;
+    double worst = 45.0;
+    const auto rects = floorplan.placed_rects();
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (!rects[i]) continue;
+      double t = 45.0 + system.chiplet(i).power;
+      for (std::size_t j = 0; j < rects.size(); ++j) {
+        if (j == i || !rects[j]) continue;
+        t += system.chiplet(j).power /
+             (1.0 + 0.5 * center_distance(*rects[i], *rects[j]));
+      }
+      worst = std::max(worst, t);
+    }
+    return worst;
+  }
+  long num_evaluations() const override { return count_; }
+  std::string name() const override { return "proxy"; }
+
+ private:
+  long count_ = 0;
+};
+
+ChipletSystem sa_system() {
+  return ChipletSystem("sa", 30.0, 30.0,
+                       {{"a", 9.0, 7.0, 30.0},
+                        {"b", 7.0, 7.0, 15.0},
+                        {"c", 5.0, 9.0, 10.0},
+                        {"d", 4.0, 4.0, 5.0}},
+                       {{0, 1, 128}, {1, 2, 64}, {2, 3, 32}, {0, 3, 16}});
+}
+
+Tap25dConfig quick_config(std::uint64_t seed) {
+  Tap25dConfig config;
+  config.anneal.max_evaluations = 600;
+  config.anneal.t_final = 1e-3;
+  config.anneal.cooling = 0.9;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Tap25d, ProducesLegalFloorplan) {
+  const auto sys = sa_system();
+  ProxyEvaluator eval;
+  Tap25dPlanner planner(quick_config(1));
+  const auto result = planner.plan(sys, eval);
+  EXPECT_TRUE(result.best.is_complete());
+  EXPECT_TRUE(result.best.is_legal());
+  EXPECT_GT(result.wirelength_mm, 0.0);
+  EXPECT_LT(result.reward, 0.0);
+}
+
+TEST(Tap25d, ImprovesOverInitialPlacement) {
+  const auto sys = sa_system();
+  ProxyEvaluator eval;
+  const RewardCalculator rc;
+  const bump::BumpAssigner ba;
+
+  // Reconstruct the planner's initial state (first-fit, grid 64).
+  rl::EnvConfig ff;
+  ff.grid = 64;
+  const Floorplan initial = rl::first_fit_floorplan(sys, ff);
+  ProxyEvaluator eval_init;
+  const double initial_reward =
+      rc.reward(ba.assign(sys, initial).total_mm,
+                eval_init.max_temperature(sys, initial));
+
+  Tap25dPlanner planner(quick_config(2));
+  const auto result = planner.plan(sys, eval);
+  EXPECT_GE(result.reward, initial_reward)
+      << "SA must not end worse than its starting point";
+}
+
+TEST(Tap25d, DeterministicGivenSeed) {
+  const auto sys = sa_system();
+  auto run = [&](std::uint64_t seed) {
+    ProxyEvaluator eval;
+    Tap25dPlanner planner(quick_config(seed));
+    return planner.plan(sys, eval).reward;
+  };
+  EXPECT_DOUBLE_EQ(run(3), run(3));
+}
+
+TEST(Tap25d, RespectsEvaluationBudget) {
+  const auto sys = sa_system();
+  ProxyEvaluator eval;
+  Tap25dConfig config = quick_config(4);
+  config.anneal.max_evaluations = 100;
+  Tap25dPlanner planner(config);
+  planner.plan(sys, eval);
+  // +2: final reporting re-evaluates wirelength and temperature once.
+  EXPECT_LE(eval.num_evaluations(), 102);
+}
+
+TEST(Tap25d, SpacingConstraintHolds) {
+  const auto sys = sa_system();
+  ProxyEvaluator eval;
+  Tap25dConfig config = quick_config(5);
+  config.spacing_mm = 1.0;
+  Tap25dPlanner planner(config);
+  const auto result = planner.plan(sys, eval);
+  EXPECT_TRUE(result.best.is_legal(1.0));
+}
+
+TEST(Tap25d, RotationMovesProduceRotatedDies) {
+  // With rotate-heavy move mix, at least some accepted state should carry a
+  // rotation for non-square dies.
+  const auto sys = sa_system();
+  ProxyEvaluator eval;
+  Tap25dConfig config = quick_config(6);
+  config.p_displace = 0.2;
+  config.p_swap = 0.0;
+  config.p_rotate = 0.8;
+  config.anneal.max_evaluations = 400;
+  Tap25dPlanner planner(config);
+  const auto result = planner.plan(sys, eval);
+  EXPECT_TRUE(result.best.is_legal());
+}
+
+TEST(Tap25d, RejectsDegenerateMoveMix) {
+  Tap25dConfig config;
+  config.p_displace = 0.0;
+  config.p_swap = 0.0;
+  config.p_rotate = 0.0;
+  EXPECT_THROW(Tap25dPlanner{config}, std::invalid_argument);
+}
+
+TEST(Tap25d, EvaluatorInjectionIsObservable) {
+  const auto sys = sa_system();
+  ProxyEvaluator eval;
+  Tap25dPlanner planner(quick_config(7));
+  planner.plan(sys, eval);
+  EXPECT_GT(eval.num_evaluations(), 10);
+}
+
+}  // namespace
+}  // namespace rlplan::sa

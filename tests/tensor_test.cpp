@@ -1,0 +1,93 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rlplan::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  const Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.numel(), 0u);  // no storage until a shape is given
+}
+
+TEST(Tensor, ZerosConstruction) {
+  const Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullConstruction) {
+  const Tensor t = Tensor::full({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+  EXPECT_EQ(std::as_const(t).at(1, 2), 7.0f);
+}
+
+TEST(Tensor, At4DRowMajorLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  t.reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.at(2, 1), 5.0f);
+}
+
+TEST(Tensor, ReshapeBadCountThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, AddInPlace) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  const Tensor b = Tensor::full({3}, 2.0f);
+  a.add_(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(a[i], 3.0f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a({2});
+  const Tensor b({3});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+}
+
+TEST(Tensor, ScaleSumNorm) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  t.scale_(2.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 4.0 + 16.0 + 36.0 + 64.0);
+}
+
+TEST(Tensor, SameShape) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 3});
+  const Tensor c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(ShapeNumel, EdgeCases) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({0}), 0u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+}
+
+}  // namespace
+}  // namespace rlplan::nn

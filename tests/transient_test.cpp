@@ -1,0 +1,153 @@
+#include "thermal/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlplan::thermal {
+namespace {
+
+ChipletSystem one_die() {
+  return ChipletSystem("tr", 30.0, 30.0, {{"die", 10.0, 10.0, 25.0}}, {});
+}
+
+Floorplan centered(const ChipletSystem& sys) {
+  Floorplan fp(sys);
+  fp.place(0, {10.0, 10.0});
+  return fp;
+}
+
+TransientConfig quick_config(double duration = 0.2, double dt = 0.01) {
+  TransientConfig config;
+  config.dims = {16, 16};
+  config.duration_s = duration;
+  config.dt_s = dt;
+  config.cg.tolerance = 1e-9;
+  return config;
+}
+
+TEST(Transient, StartsAtAmbient) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto result =
+      solve_transient(stack, sys, centered(sys), quick_config());
+  EXPECT_NEAR(result.trace.front().max_temp_c, stack.ambient_c(), 1e-9);
+}
+
+TEST(Transient, PeakTemperatureIsMonotoneForStepPower) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto result =
+      solve_transient(stack, sys, centered(sys), quick_config());
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GE(result.trace[i].max_temp_c,
+              result.trace[i - 1].max_temp_c - 1e-9)
+        << "cooling during constant heating at step " << i;
+  }
+}
+
+TEST(Transient, ConvergesTowardSteadyState) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto fp = centered(sys);
+  // The heat sink dominates the thermal mass: tau ~ C_sink/h ~ 4.3 s, so a
+  // 25 s transient (~6 tau) should sit within a few percent of steady state.
+  TransientConfig config = quick_config(/*duration=*/25.0, /*dt=*/0.25);
+  const auto transient = solve_transient(stack, sys, fp, config);
+
+  GridSolverConfig ss_config{.dims = {16, 16}};
+  ss_config.cg.tolerance = 1e-10;
+  GridThermalSolver steady(stack, ss_config);
+  const double steady_peak = steady.solve(sys, fp).max_temp_c;
+
+  EXPECT_NEAR(transient.final_max_temp_c, steady_peak,
+              0.05 * (steady_peak - stack.ambient_c()))
+      << "25 s transient should be within 5% of steady state";
+  EXPECT_LT(transient.final_max_temp_c, steady_peak + 0.5)
+      << "transient must approach steady state from below";
+}
+
+TEST(Transient, SmallerTimeStepRefinesEarlyResponse) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto fp = centered(sys);
+  const auto coarse = solve_transient(stack, sys, fp, quick_config(0.1, 0.05));
+  const auto fine = solve_transient(stack, sys, fp, quick_config(0.1, 0.01));
+  // Backward Euler under-predicts rise with big steps; both must agree
+  // within a loose band and end warmer than ambient.
+  EXPECT_GT(coarse.final_max_temp_c, stack.ambient_c() + 1.0);
+  EXPECT_NEAR(coarse.final_max_temp_c, fine.final_max_temp_c, 3.0);
+}
+
+TEST(Transient, PowerScheduleShapesResponse) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto fp = centered(sys);
+  TransientConfig config = quick_config(0.2, 0.01);
+  config.power_scale = [](double t) { return t < 0.1 ? 1.0 : 0.0; };
+  const auto result = solve_transient(stack, sys, fp, config);
+  // After power-off the die must cool.
+  const double at_cutoff = result.trace[10].max_temp_c;   // t = 0.10
+  const double at_end = result.trace.back().max_temp_c;   // t = 0.20
+  EXPECT_LT(at_end, at_cutoff);
+  EXPECT_GT(at_cutoff, stack.ambient_c() + 0.5);
+}
+
+TEST(Transient, RiseTimeIsPositiveAndOrdered) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto result =
+      solve_transient(stack, sys, centered(sys), quick_config(1.0, 0.02));
+  const double t50 = rise_time(result, 0.5);
+  const double t90 = rise_time(result, 0.9);
+  ASSERT_GT(t50, 0.0);
+  ASSERT_GT(t90, 0.0);
+  EXPECT_LT(t50, t90);
+}
+
+TEST(Transient, WarmInitialFieldSkipsHeating) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  const auto fp = centered(sys);
+  // March once to build a warm field, then resume from it.
+  TransientConfig config = quick_config(0.5, 0.05);
+  const auto first = solve_transient(stack, sys, fp, config);
+  ThermalGridModel model(stack, sys, config.dims);
+  // Resume: initial trace point must already be warm.
+  std::vector<double> warm(model.num_nodes(),
+                           first.final_max_temp_c - stack.ambient_c());
+  const auto resumed = solve_transient(stack, sys, fp, config, &warm);
+  EXPECT_GT(resumed.trace.front().max_temp_c, stack.ambient_c() + 1.0);
+}
+
+TEST(Transient, RejectsBadConfig) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  TransientConfig config = quick_config();
+  config.dt_s = 0.0;
+  EXPECT_THROW(solve_transient(stack, sys, centered(sys), config),
+               std::invalid_argument);
+  config = quick_config();
+  config.duration_s = -1.0;
+  EXPECT_THROW(solve_transient(stack, sys, centered(sys), config),
+               std::invalid_argument);
+}
+
+TEST(Transient, RejectsWrongInitialFieldSize) {
+  const auto stack = LayerStack::default_2p5d();
+  const auto sys = one_die();
+  std::vector<double> wrong(7, 0.0);
+  EXPECT_THROW(
+      solve_transient(stack, sys, centered(sys), quick_config(), &wrong),
+      std::invalid_argument);
+}
+
+TEST(Transient, HeatCapacitiesArePhysical) {
+  EXPECT_GT(volumetric_heat_capacity(silicon()), 1e6);
+  EXPECT_GT(volumetric_heat_capacity(copper()),
+            volumetric_heat_capacity(silicon()));
+  EXPECT_GT(volumetric_heat_capacity(Material{"mystery", 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rlplan::thermal

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace rlplan {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  bool saw_zero = false, saw_max = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(std::uint64_t{7});
+    EXPECT_LT(v, 7u);
+    if (v == 0) saw_zero = true;
+    if (v == 6) saw_max = true;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{-2}, std::int64_t{3});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child stream should not replicate the parent stream.
+  Rng b(42);
+  b.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5, 5);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(ErrorMetrics, KnownValues) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> ref{1.5, 2.0, 2.0};
+  const auto m = ErrorMetrics::compute(pred, ref);
+  EXPECT_NEAR(m.mse, (0.25 + 0.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(m.rmse, std::sqrt(m.mse), 1e-12);
+  EXPECT_NEAR(m.mae, 0.5, 1e-12);
+  // MAPE: (0.5/1.5 + 0 + 1/2)/3 * 100
+  EXPECT_NEAR(m.mape, 100.0 * (0.5 / 1.5 + 0.5) / 3.0, 1e-9);
+}
+
+TEST(ErrorMetrics, PerfectPrediction) {
+  const std::vector<double> v{3.0, 4.0, 5.0};
+  const auto m = ErrorMetrics::compute(v, v);
+  EXPECT_DOUBLE_EQ(m.mse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);
+}
+
+TEST(ErrorMetrics, EmptyInput) {
+  const auto m = ErrorMetrics::compute({}, {});
+  EXPECT_EQ(m.n, 0u);
+  EXPECT_DOUBLE_EQ(m.mse, 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(15.0);   // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rlplan_csv_test.csv")
+          .string();
+  {
+    CsvWriter w(path);
+    w.write_row({"name", "value"});
+    w.write_row_numeric({1.5, 2.25});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "name,value");
+  EXPECT_EQ(line2, "1.5,2.25");
+  std::filesystem::remove(path);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  // Just verify it is monotone and non-negative.
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace rlplan
