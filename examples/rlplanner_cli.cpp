@@ -8,6 +8,8 @@
 //     --budget=SECONDS   SA wall-clock budget          (default 30)
 //     --out=FILE         floorplan output path         (default plan.fp)
 //     --seed=S
+//     --envs=N           parallel env replicas for RL  (default 1 = legacy)
+//     --threads=N        rollout worker threads        (default 0 = auto)
 //
 // With no arguments, runs on a built-in demo system so the tool is
 // self-contained. Example system file (see src/systems/io.h):
@@ -80,6 +82,14 @@ int main(int argc, char** argv) {
   const std::string out = option(argc, argv, "out", "plan.fp");
   const auto seed =
       static_cast<std::uint64_t>(std::stoll(option(argc, argv, "seed", "1")));
+  const int envs_raw = std::stoi(option(argc, argv, "envs", "1"));
+  const int threads_raw = std::stoi(option(argc, argv, "threads", "0"));
+  if (envs_raw < 1 || threads_raw < 0) {
+    std::fprintf(stderr, "error: --envs must be >= 1 and --threads >= 0\n");
+    return 1;
+  }
+  const auto envs = static_cast<std::size_t>(envs_raw);
+  const auto threads = static_cast<std::size_t>(threads_raw);
 
   const auto stack = thermal::LayerStack::default_2p5d();
   Timer timer;
@@ -95,6 +105,8 @@ int main(int argc, char** argv) {
     config.ppo.adam.lr = 1e-3f;
     config.ppo.use_rnd = method == "rl-rnd";
     config.seed = seed;
+    config.num_envs = envs;
+    config.num_threads = threads;
     rl::RlPlanner planner(config);
     const auto result = planner.plan(system, stack);
     best = *result.best;

@@ -19,7 +19,32 @@ void init_uniform(Tensor& t, float bound, Rng& rng) {
     t[i] = static_cast<float>(rng.uniform(-bound, bound));
   }
 }
+
+BatchParallelFor g_batch_parallel_for;
+
+/// Runs fn over [0, n): through the installed executor when one is set and
+/// the batch is big enough to amortize the dispatch, serially otherwise.
+/// Templated so the serial path (notably batch-1 action forwards) never pays
+/// for a std::function wrap; the type erasure happens only on dispatch.
+template <typename Fn>
+void for_each_batch_row(std::size_t n, Fn&& fn) {
+  if (n > 1 && g_batch_parallel_for) {
+    g_batch_parallel_for(n, std::function<void(std::size_t)>(fn));
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
 }  // namespace
+
+void set_batch_parallel_for(BatchParallelFor executor) {
+  g_batch_parallel_for = std::move(executor);
+}
+
+BatchParallelFor exchange_batch_parallel_for(BatchParallelFor executor) {
+  BatchParallelFor previous = std::move(g_batch_parallel_for);
+  g_batch_parallel_for = std::move(executor);
+  return previous;
+}
 
 // ---------------------------------------------------------------- Linear --
 
@@ -44,7 +69,7 @@ Tensor Linear::forward(const Tensor& x) {
   const auto xd = x.data();
   const auto wd = weight_.value.data();
   const auto bd = bias_.value.data();
-  for (std::size_t b = 0; b < batch; ++b) {
+  for_each_batch_row(batch, [&](std::size_t b) {
     const float* xr = xd.data() + b * in_;
     float* yr = y.data().data() + b * out_;
     for (std::size_t o = 0; o < out_; ++o) {
@@ -53,7 +78,7 @@ Tensor Linear::forward(const Tensor& x) {
       for (std::size_t i = 0; i < in_; ++i) acc += wr[i] * xr[i];
       yr[o] = acc;
     }
-  }
+  });
   return y;
 }
 
@@ -122,7 +147,7 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::size_t wo = out_size(w);
   Tensor y({batch, out_ch_, ho, wo});
 
-  for (std::size_t b = 0; b < batch; ++b) {
+  for_each_batch_row(batch, [&](std::size_t b) {
     for (std::size_t oc = 0; oc < out_ch_; ++oc) {
       const float bias = bias_.value[oc];
       for (std::size_t oy = 0; oy < ho; ++oy) {
@@ -149,7 +174,7 @@ Tensor Conv2d::forward(const Tensor& x) {
         }
       }
     }
-  }
+  });
   return y;
 }
 

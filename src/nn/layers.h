@@ -8,6 +8,7 @@
 // Conv2d: [batch, channels, height, width].
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,28 @@
 #include "util/rng.h"
 
 namespace rlplan::nn {
+
+/// Executor signature for fanning a batch dimension out over worker threads:
+/// must call fn(i) exactly once for every i in [0, n) and return only when
+/// all calls have finished (parallel::ThreadPool::parallel_for satisfies it).
+using BatchParallelFor =
+    std::function<void(std::size_t n, const std::function<void(std::size_t)>&)>;
+
+/// Installs (or, with nullptr, removes) the process-wide batch executor used
+/// by Linear/Conv2d forward passes when batch > 1. Rows of a batch are
+/// arithmetically independent in these layers, so outputs are bit-identical
+/// with or without an executor — this is a pure throughput knob. Backward
+/// passes stay serial (parameter gradients accumulate across the batch).
+/// Not thread-safe: install before training, from one thread — concurrent
+/// RlPlanner/collector instances in one process must not overlap their
+/// installations. parallel::ParallelRolloutCollector installs its pool for
+/// its lifetime and restores the previous executor on destruction (LIFO
+/// nesting is safe).
+void set_batch_parallel_for(BatchParallelFor executor);
+
+/// As set_batch_parallel_for, returning the previously installed executor so
+/// callers can restore it (used by the collector for LIFO save/restore).
+BatchParallelFor exchange_batch_parallel_for(BatchParallelFor executor);
 
 /// Trainable tensor with its gradient accumulator.
 struct Parameter {

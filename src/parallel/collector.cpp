@@ -1,0 +1,133 @@
+#include "parallel/collector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "nn/layers.h"
+#include "rl/distribution.h"
+
+namespace rlplan::parallel {
+
+ParallelRolloutCollector::ParallelRolloutCollector(VecEnv& venv,
+                                                   ThreadPool& pool)
+    : venv_(&venv), pool_(&pool) {
+  const std::size_t n = venv.size();
+  pending_.resize(n);
+  live_.assign(n, 0);
+  // While a collector is alive, every nn forward (rollout batches here, PPO
+  // minibatches in the trainer) fans its batch rows out over the pool.
+  // Row-wise arithmetic is untouched, so results stay bit-identical. The
+  // previous executor is restored on destruction, so nested collectors are
+  // safe as long as their lifetimes are LIFO.
+  previous_executor_ = nn::exchange_batch_parallel_for(
+      [p = pool_](std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+        p->parallel_for(count, fn);
+      });
+}
+
+ParallelRolloutCollector::~ParallelRolloutCollector() {
+  nn::set_batch_parallel_for(std::move(previous_executor_));
+}
+
+CollectorStats ParallelRolloutCollector::collect(
+    rl::PolicyValueNet& net, std::size_t min_episodes, rl::RolloutBuffer& out,
+    const EpisodeCallback& on_episode_end) {
+  CollectorStats stats;
+  if (min_episodes == 0) return stats;
+
+  const std::size_t n = venv_->size();
+  const std::size_t c = rl::FloorplanEnv::kChannels;
+  const std::size_t g = venv_->env(0).grid();
+  const std::size_t num_actions = venv_->env(0).num_actions();
+
+  std::fill(live_.begin(), live_.end(), 0);
+  for (auto& p : pending_) p.clear();
+
+  std::size_t episodes_started = 0;
+  for (std::size_t e = 0; e < n && episodes_started < min_episodes; ++e) {
+    venv_->env(e).reset();
+    live_[e] = 1;
+    ++episodes_started;
+  }
+
+  double reward_best = -std::numeric_limits<double>::infinity();
+  for (;;) {
+    live_index_.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+      if (live_[e]) live_index_.push_back(e);
+    }
+    const std::size_t batch = live_index_.size();
+    if (batch == 0) break;
+
+    // 1. Gather live observations into one [B, C, G, G] batch.
+    nn::Tensor states({batch, c, g, g});
+    const std::size_t stride = c * g * g;
+    for (std::size_t j = 0; j < batch; ++j) {
+      const auto obs = venv_->env(live_index_[j]).observation().data();
+      std::copy(obs.begin(), obs.end(),
+                states.data().begin() + static_cast<std::ptrdiff_t>(j * stride));
+    }
+
+    // 2. One batched forward for every live replica.
+    rl::PolicyValueNet::Output fwd = net.forward(states);
+
+    // 3. Sample one masked action per replica with its own RNG stream.
+    actions_.resize(batch);
+    outcomes_.assign(batch, rl::StepOutcome{});
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t e = live_index_[j];
+      rl::FloorplanEnv& env = venv_->env(e);
+      const std::span<const float> logits_row(
+          fwd.logits.data().data() + j * num_actions, num_actions);
+      const rl::MaskedCategorical dist(logits_row, env.action_mask());
+      const std::size_t action = dist.sample(venv_->rng(e));
+      actions_[j] = action;
+
+      rl::Transition tr;
+      tr.state = env.observation();
+      tr.mask = env.action_mask();
+      tr.action = action;
+      tr.log_prob = dist.log_prob(action);
+      tr.value = fwd.value.at(j, 0);
+      pending_[e].push_back(std::move(tr));
+    }
+
+    // 4. Step every live replica concurrently. Each replica only touches its
+    //    own env + cloned evaluator, so the result is schedule-independent.
+    pool_->parallel_for(batch, [&](std::size_t j) {
+      outcomes_[j] = venv_->env(live_index_[j]).step(actions_[j]);
+    });
+
+    // 5. Record outcomes and recycle finished replicas, in replica order.
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t e = live_index_[j];
+      const rl::StepOutcome& outcome = outcomes_[j];
+      rl::Transition& tr = pending_[e].back();
+      tr.reward_ext = static_cast<float>(outcome.reward);
+      tr.episode_end = outcome.done;
+      ++stats.steps;
+      if (!outcome.done) continue;
+
+      ++stats.episodes;
+      if (outcome.dead_end) ++stats.dead_ends;
+      stats.reward_sum += outcome.reward;
+      reward_best = std::max(reward_best, outcome.reward);
+      if (on_episode_end) on_episode_end(e, outcome);
+
+      for (auto& t : pending_[e]) out.push(std::move(t));
+      pending_[e].clear();
+
+      if (episodes_started < min_episodes) {
+        venv_->env(e).reset();
+        ++episodes_started;
+      } else {
+        live_[e] = 0;
+      }
+    }
+  }
+  stats.reward_best = stats.episodes > 0 ? reward_best : 0.0;
+  return stats;
+}
+
+}  // namespace rlplan::parallel

@@ -1,0 +1,87 @@
+// Parallel rollout collection: batched policy forwards over a VecEnv.
+//
+// One collect() call gathers at least `min_episodes` complete placement
+// episodes under the current policy:
+//
+//   while any replica is live:
+//     1. gather the [B, C, G, G] observations of the B live replicas
+//     2. ONE batched PolicyValueNet forward (batch-parallelized over rows
+//        through the thread pool — see nn::set_batch_parallel_for)
+//     3. per replica: masked-categorical sample with the replica's own RNG
+//     4. step all B replicas concurrently via ThreadPool::parallel_for —
+//        this parallelizes the episode-end reward evaluation (microbump
+//        assignment + thermal model), the most expensive part of a step
+//     5. finished replicas flush their episode into the shared buffer
+//        (episode-aligned: an episode's transitions are contiguous and
+//        terminated by episode_end, exactly what GAE expects), then reset
+//        for another episode or go idle once the quota is met
+//
+// Everything outside steps 2/4 runs on the caller thread in replica order,
+// so the produced rollout is a deterministic function of (policy weights,
+// VecEnv seed, num_envs) — independent of num_threads and thread timing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nn/layers.h"
+#include "parallel/thread_pool.h"
+#include "parallel/vec_env.h"
+#include "rl/env.h"
+#include "rl/policy_net.h"
+#include "rl/rollout.h"
+
+namespace rlplan::parallel {
+
+/// Aggregate statistics of one collect() call.
+struct CollectorStats {
+  std::size_t steps = 0;      ///< transitions appended to the buffer
+  std::size_t episodes = 0;   ///< completed episodes (>= min_episodes)
+  std::size_t dead_ends = 0;  ///< episodes that ended with no feasible action
+  double reward_sum = 0.0;    ///< sum of terminal extrinsic rewards
+  double reward_best = 0.0;   ///< best terminal reward (valid iff episodes>0)
+};
+
+class ParallelRolloutCollector {
+ public:
+  /// Invoked on the caller thread, in deterministic replica order, right
+  /// after replica `env_index` finishes an episode and before it resets;
+  /// `venv.env(env_index)` still holds the terminal floorplan/metrics.
+  using EpisodeCallback =
+      std::function<void(std::size_t env_index, const rl::StepOutcome&)>;
+
+  /// `venv` and `pool` must outlive the collector.
+  ParallelRolloutCollector(VecEnv& venv, ThreadPool& pool);
+  ~ParallelRolloutCollector();
+
+  ParallelRolloutCollector(const ParallelRolloutCollector&) = delete;
+  ParallelRolloutCollector& operator=(const ParallelRolloutCollector&) =
+      delete;
+
+  VecEnv& venv() { return *venv_; }
+  ThreadPool& pool() { return *pool_; }
+
+  /// Collects exactly min_episodes complete episodes (at most venv().size()
+  /// run concurrently; replicas go idle once the quota of started episodes
+  /// is met) and appends their transitions to `out`.
+  CollectorStats collect(rl::PolicyValueNet& net, std::size_t min_episodes,
+                         rl::RolloutBuffer& out,
+                         const EpisodeCallback& on_episode_end = {});
+
+ private:
+  VecEnv* venv_;
+  ThreadPool* pool_;
+  /// Batch executor that was installed before this collector took over;
+  /// restored by the destructor.
+  nn::BatchParallelFor previous_executor_;
+
+  // Per-replica scratch, reused across collect() calls.
+  std::vector<std::vector<rl::Transition>> pending_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::size_t> live_index_;
+  std::vector<std::size_t> actions_;
+  std::vector<rl::StepOutcome> outcomes_;
+};
+
+}  // namespace rlplan::parallel

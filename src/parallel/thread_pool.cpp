@@ -1,0 +1,77 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace rlplan::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode
+  workers_.reserve(threads - 1);  // the caller thread is the remaining lane
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_indices() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    (*fn_)(i);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    run_indices();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_workers_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_workers_ = workers_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  run_indices();  // the caller is a lane too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return remaining_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace rlplan::parallel

@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a lock-cheap parallel_for.
+//
+// Design goals, in order: determinism, low per-call overhead, simplicity.
+// There is no work-stealing deque and no per-task future allocation — the
+// only primitive is parallel_for(n, fn), which wakes the workers once per
+// call and then distributes indices through a single atomic counter. Workers
+// take the mutex only to sleep/wake between calls; inside a call the hot
+// path is one fetch_add per index.
+//
+// parallel_for(0-based index) may run fn concurrently from multiple threads;
+// fn must only touch per-index state. Results are independent of the thread
+// schedule as long as fn(i) writes only to slot i — this is what makes
+// VecEnv rollouts bit-reproducible across num_threads settings.
+//
+// A pool of size 0 or 1 runs everything inline on the caller thread (no
+// worker threads are spawned), so `num_threads = 1` is exactly the serial
+// code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlplan::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 or 1 means "inline" (no threads).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 = inline execution).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Calls fn(i) for every i in [0, n), possibly concurrently. Blocks until
+  /// all n calls have returned. The caller thread participates, so the pool
+  /// contributes size()+1 lanes of execution. Exceptions thrown by fn
+  /// terminate (fn is expected to be noexcept in spirit; environment errors
+  /// are programming errors on this path).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+
+  // State of the in-flight parallel_for (guarded by mutex_ for the
+  // sleep/wake transitions; next_ is the lock-free hot path).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t remaining_workers_ = 0;  ///< workers still inside run_indices()
+  std::uint64_t generation_ = 0;       ///< bumped per parallel_for call
+  bool stop_ = false;
+};
+
+}  // namespace rlplan::parallel

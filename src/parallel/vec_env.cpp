@@ -1,0 +1,48 @@
+#include "parallel/vec_env.h"
+
+#include <stdexcept>
+
+namespace rlplan::parallel {
+
+VecEnv::VecEnv(const ChipletSystem& system,
+               const thermal::ThermalEvaluator& prototype,
+               RewardCalculator reward_calc, bump::BumpAssigner assigner,
+               rl::EnvConfig env_config, std::size_t num_envs,
+               std::uint64_t seed)
+    : seed_(seed) {
+  // The upper bound catches size_t underflow from negative inputs before it
+  // reaches vector::reserve as an opaque length_error.
+  if (num_envs == 0 || num_envs > kMaxEnvs) {
+    throw std::invalid_argument("VecEnv: num_envs must be in [1, " +
+                                std::to_string(kMaxEnvs) + "]");
+  }
+  evaluators_.reserve(num_envs);
+  envs_.reserve(num_envs);
+  rngs_.reserve(num_envs);
+  for (std::size_t i = 0; i < num_envs; ++i) {
+    auto evaluator = prototype.clone();
+    if (!evaluator) {
+      throw std::invalid_argument("VecEnv: evaluator '" + prototype.name() +
+                                  "' does not support clone()");
+    }
+    evaluators_.push_back(std::move(evaluator));
+    envs_.push_back(std::make_unique<rl::FloorplanEnv>(
+        system, *evaluators_.back(), reward_calc, assigner, env_config));
+    rngs_.emplace_back(derive_seed(seed, i));
+  }
+}
+
+long VecEnv::total_evaluations() const {
+  long total = 0;
+  for (const auto& e : evaluators_) total += e->num_evaluations();
+  return total;
+}
+
+std::uint64_t VecEnv::derive_seed(std::uint64_t base, std::size_t index) {
+  SplitMix64 sm(base);
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i <= index; ++i) s = sm.next();
+  return s;
+}
+
+}  // namespace rlplan::parallel

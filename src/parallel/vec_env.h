@@ -1,0 +1,75 @@
+// Vectorized floorplanning environment: N independent FloorplanEnv replicas.
+//
+// Each replica owns (a) a private clone of the thermal evaluator — so the
+// episode-end reward evaluation, the expensive part of a step, can run on any
+// worker thread with zero synchronization — and (b) a private action-sampling
+// RNG whose seed is derived deterministically from the VecEnv seed and the
+// replica index. Because every replica's state is fully self-contained,
+// trajectories are bit-identical to running the same N environments
+// sequentially with the same derived seeds, for ANY num_threads setting
+// (tests/vec_env_test.cpp asserts exactly this).
+//
+// The system, reward calculator, assigner, and env config are shared by value
+// or const reference across replicas; only the evaluator and RNG are
+// per-replica mutable state.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "bump/assigner.h"
+#include "core/chiplet.h"
+#include "core/reward.h"
+#include "rl/env.h"
+#include "thermal/evaluator.h"
+#include "util/rng.h"
+
+namespace rlplan::parallel {
+
+class VecEnv {
+ public:
+  /// Sanity cap on num_envs (each replica owns an evaluator clone; far more
+  /// replicas than cores is never useful and usually signals an integer
+  /// conversion bug at the call site).
+  static constexpr std::size_t kMaxEnvs = 4096;
+
+  /// Builds `num_envs` replicas over `system`. `prototype` is cloned once per
+  /// replica (it is not retained); `system` must outlive the VecEnv. Throws
+  /// std::invalid_argument when num_envs == 0 or the prototype evaluator
+  /// does not support cloning.
+  VecEnv(const ChipletSystem& system,
+         const thermal::ThermalEvaluator& prototype,
+         RewardCalculator reward_calc, bump::BumpAssigner assigner,
+         rl::EnvConfig env_config, std::size_t num_envs, std::uint64_t seed);
+
+  std::size_t size() const { return envs_.size(); }
+  std::uint64_t seed() const { return seed_; }
+
+  rl::FloorplanEnv& env(std::size_t i) { return *envs_.at(i); }
+  const rl::FloorplanEnv& env(std::size_t i) const { return *envs_.at(i); }
+
+  /// Per-replica action-sampling stream (seeded with derive_seed(seed, i)).
+  Rng& rng(std::size_t i) { return rngs_.at(i); }
+
+  thermal::ThermalEvaluator& evaluator(std::size_t i) {
+    return *evaluators_.at(i);
+  }
+
+  /// Sum of thermal evaluations across all replica evaluators.
+  long total_evaluations() const;
+
+  /// Seed of replica i: the (i+1)-th output of a SplitMix64 stream over the
+  /// base seed. Stable across releases — the determinism tests and any
+  /// recorded trajectories depend on it.
+  static std::uint64_t derive_seed(std::uint64_t base, std::size_t index);
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<thermal::ThermalEvaluator>> evaluators_;
+  std::vector<std::unique_ptr<rl::FloorplanEnv>> envs_;
+  std::vector<Rng> rngs_;
+};
+
+}  // namespace rlplan::parallel

@@ -1,7 +1,12 @@
 #include "rl/planner.h"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "parallel/collector.h"
+#include "parallel/thread_pool.h"
+#include "parallel/vec_env.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -41,7 +46,33 @@ PlannerResult RlPlanner::run(const ChipletSystem& system,
 
   FloorplanEnv env(system, evaluator, RewardCalculator(config_.reward),
                    bump::BumpAssigner(config_.bump), config_.env);
-  PpoTrainer trainer(env, config_.net, config_.ppo);
+
+  // num_envs == 1 keeps the legacy single-env loop; > 1 trains through the
+  // parallel rollout subsystem (each replica gets a cloned evaluator).
+  std::optional<parallel::ThreadPool> pool;
+  std::optional<parallel::VecEnv> venv;
+  std::optional<parallel::ParallelRolloutCollector> collector;
+  std::optional<PpoTrainer> trainer_storage;
+  if (config_.num_envs > 1) {
+    const std::size_t threads =
+        config_.num_threads > 0
+            ? config_.num_threads
+            : std::min(config_.num_envs,
+                       parallel::ThreadPool::hardware_threads());
+    pool.emplace(threads);
+    venv.emplace(system, evaluator, RewardCalculator(config_.reward),
+                 bump::BumpAssigner(config_.bump), config_.env,
+                 config_.num_envs, config_.seed);
+    collector.emplace(*venv, *pool);
+    trainer_storage.emplace(*collector, config_.net, config_.ppo);
+    if (config_.verbose) {
+      RLPLAN_INFO << "parallel rollouts: " << config_.num_envs << " envs, "
+                  << threads << " threads";
+    }
+  } else {
+    trainer_storage.emplace(env, config_.net, config_.ppo);
+  }
+  PpoTrainer& trainer = *trainer_storage;
 
   const Timer timer;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {

@@ -42,6 +42,20 @@ struct RlPlannerConfig {
   thermal::GridSolverConfig solver{};
   thermal::CharacterizationConfig characterization{};
   ThermalBackend backend = ThermalBackend::kFastModel;
+  /// Parallel rollout collection (src/parallel/). With num_envs == 1 (the
+  /// default) training runs the legacy single-environment loop, bit-for-bit
+  /// identical to releases before the parallel subsystem existed. With
+  /// num_envs > 1, experience is collected from that many environment
+  /// replicas: one batched policy forward per step over all live replicas,
+  /// environment stepping (including the episode-end thermal + microbump
+  /// reward evaluation) fanned out over a thread pool, and per-replica
+  /// action-RNG streams derived from `seed` so results are reproducible and
+  /// independent of num_threads.
+  std::size_t num_envs = 1;
+  /// Worker threads for env stepping and batched forwards when
+  /// num_envs > 1. 0 = min(num_envs, hardware threads). Changing
+  /// num_threads never changes the result, only the wall clock.
+  std::size_t num_threads = 0;
   int epochs = 100;            ///< training epochs (collect+update cycles)
   double time_budget_s = 0.0;  ///< stop early when exceeded (0 = none)
   int greedy_eval_every = 10;  ///< greedy-decode cadence (0 = never)

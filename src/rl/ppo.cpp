@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "parallel/collector.h"
 #include "rl/distribution.h"
 #include "util/log.h"
 
@@ -28,6 +29,12 @@ PpoTrainer::PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config,
   intrinsic_scale_ = 1.0f;
 }
 
+PpoTrainer::PpoTrainer(parallel::ParallelRolloutCollector& collector,
+                       PolicyNetConfig net_config, PpoConfig config)
+    : PpoTrainer(collector.venv().env(0), net_config, config) {
+  collector_ = &collector;
+}
+
 const Floorplan& PpoTrainer::best_floorplan() const {
   if (!best_floorplan_) {
     throw std::logic_error("PpoTrainer: no complete episode seen yet");
@@ -35,16 +42,29 @@ const Floorplan& PpoTrainer::best_floorplan() const {
   return *best_floorplan_;
 }
 
-void PpoTrainer::consider_best(const EpisodeMetrics& metrics) {
+void PpoTrainer::consider_best(const EpisodeMetrics& metrics,
+                               const Floorplan& fp) {
   if (!metrics.valid) return;
   if (!best_floorplan_ || metrics.reward > best_metrics_.reward) {
-    best_floorplan_ = env_->floorplan();
+    best_floorplan_ = fp;
     best_metrics_ = metrics;
   }
 }
 
+void PpoTrainer::record_episode_reward(double reward) {
+  // Welford running mean/M2 for reward normalization in update().
+  ++rew_n_;
+  const double delta = reward - rew_mean_;
+  rew_mean_ += delta / static_cast<double>(rew_n_);
+  rew_m2_ += delta * (reward - rew_mean_);
+}
+
 void PpoTrainer::collect(TrainStats& stats) {
   buffer_.clear();
+  if (collector_) {
+    collect_parallel(stats);
+    return;
+  }
   double reward_sum = 0.0;
   double reward_best = -1e300;
 
@@ -83,15 +103,11 @@ void PpoTrainer::collect(TrainStats& stats) {
         if (outcome.dead_end) {
           ++stats.dead_ends;
         } else {
-          consider_best(env_->last_metrics());
+          consider_best(env_->last_metrics(), env_->floorplan());
         }
         reward_sum += outcome.reward;
         reward_best = std::max(reward_best, outcome.reward);
-        // Fold into the running reward-normalization statistics.
-        ++rew_n_;
-        const double delta = outcome.reward - rew_mean_;
-        rew_mean_ += delta / static_cast<double>(rew_n_);
-        rew_m2_ += delta * (outcome.reward - rew_mean_);
+        record_episode_reward(outcome.reward);
       }
     }
   }
@@ -100,6 +116,43 @@ void PpoTrainer::collect(TrainStats& stats) {
       stats.episodes > 0 ? reward_sum / static_cast<double>(stats.episodes)
                          : 0.0;
   stats.best_reward = stats.episodes > 0 ? reward_best : 0.0;
+}
+
+void PpoTrainer::collect_parallel(TrainStats& stats) {
+  parallel::VecEnv& venv = collector_->venv();
+  // Clamp before the size_t conversion: a (mis)configured negative episode
+  // count must mean "collect nothing", as on the legacy path, not 2^64.
+  const auto episodes =
+      static_cast<std::size_t>(std::max(config_.episodes_per_update, 0));
+  const parallel::CollectorStats cstats = collector_->collect(
+      net_, episodes, buffer_,
+      [&](std::size_t env_index, const StepOutcome& outcome) {
+        if (!outcome.dead_end) {
+          FloorplanEnv& env = venv.env(env_index);
+          consider_best(env.last_metrics(), env.floorplan());
+        }
+        record_episode_reward(outcome.reward);
+      });
+  total_env_steps_ += static_cast<long>(cstats.steps);
+
+  // Fill RND bonuses after collection, in buffer (episode-contiguous) order.
+  // bonus() also folds each raw error into its running normalization stats,
+  // so this order is part of the deterministic contract — do not reorder or
+  // parallelize this loop.
+  if (rnd_) {
+    for (auto& tr : buffer_.mutable_steps()) {
+      tr.reward_int = rnd_->bonus(tr.state);
+    }
+  }
+
+  stats.steps = cstats.steps;
+  stats.episodes = cstats.episodes;
+  stats.dead_ends = cstats.dead_ends;
+  stats.mean_reward =
+      cstats.episodes > 0
+          ? cstats.reward_sum / static_cast<double>(cstats.episodes)
+          : 0.0;
+  stats.best_reward = cstats.reward_best;
 }
 
 void PpoTrainer::update(TrainStats& stats) {
@@ -257,7 +310,7 @@ EpisodeMetrics PpoTrainer::greedy_episode() {
   }
   if (dead_end) return {};
   const EpisodeMetrics metrics = env_->last_metrics();
-  consider_best(metrics);
+  consider_best(metrics, env_->floorplan());
   return metrics;
 }
 

@@ -20,6 +20,10 @@
 #include "rl/rollout.h"
 #include "util/rng.h"
 
+namespace rlplan::parallel {
+class ParallelRolloutCollector;
+}  // namespace rlplan::parallel
+
 namespace rlplan::rl {
 
 struct PpoConfig {
@@ -67,6 +71,15 @@ class PpoTrainer {
   /// `env` must outlive the trainer.
   PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config, PpoConfig config);
 
+  /// Collects experience through a parallel rollout collector instead of the
+  /// single-env loop: batched policy forwards over all live replicas, env
+  /// steps fanned out over the collector's thread pool, per-replica RNG
+  /// streams (see src/parallel/). Greedy evaluation and best-floorplan
+  /// tracking use the collector's replicas. `collector` must outlive the
+  /// trainer.
+  PpoTrainer(parallel::ParallelRolloutCollector& collector,
+             PolicyNetConfig net_config, PpoConfig config);
+
   /// One collect + update cycle. Returns statistics of the epoch.
   TrainStats train_epoch();
 
@@ -85,10 +98,13 @@ class PpoTrainer {
 
  private:
   void collect(TrainStats& stats);
+  void collect_parallel(TrainStats& stats);
   void update(TrainStats& stats);
-  void consider_best(const EpisodeMetrics& metrics);
+  void consider_best(const EpisodeMetrics& metrics, const Floorplan& fp);
+  void record_episode_reward(double reward);
 
   FloorplanEnv* env_;
+  parallel::ParallelRolloutCollector* collector_ = nullptr;
   PpoConfig config_;
   Rng rng_;
   PolicyValueNet net_;

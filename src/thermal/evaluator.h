@@ -6,6 +6,7 @@
 // four method configurations (Table I / Table III) without code changes.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/chiplet.h"
@@ -27,6 +28,12 @@ class ThermalEvaluator {
   virtual long num_evaluations() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Independent copy for per-thread use (parallel::VecEnv gives each worker
+  /// environment its own evaluator so no synchronization is needed on the
+  /// episode-end hot path). Returns nullptr when the evaluator cannot be
+  /// cloned; callers requiring parallelism must reject that.
+  virtual std::unique_ptr<ThermalEvaluator> clone() const { return nullptr; }
 };
 
 /// Ground-truth adapter ("HotSpot" configuration).
@@ -43,6 +50,14 @@ class GridSolverEvaluator final : public ThermalEvaluator {
   }
   long num_evaluations() const override { return solver_.num_solves(); }
   std::string name() const override { return "grid-solver"; }
+
+  /// Fresh solver over the same stack/config (solve counter starts at zero;
+  /// the warm-start cache is per-instance, which is exactly why clones are
+  /// needed per thread).
+  std::unique_ptr<ThermalEvaluator> clone() const override {
+    return std::make_unique<GridSolverEvaluator>(solver_.stack(),
+                                                 solver_.config());
+  }
 
   GridThermalSolver& solver() { return solver_; }
 
@@ -63,6 +78,11 @@ class FastModelEvaluator final : public ThermalEvaluator {
   }
   long num_evaluations() const override { return count_; }
   std::string name() const override { return "fast-model"; }
+
+  /// Deep copy (the model holds its tables by value).
+  std::unique_ptr<ThermalEvaluator> clone() const override {
+    return std::make_unique<FastModelEvaluator>(model_);
+  }
 
   const FastThermalModel& model() const { return model_; }
 
