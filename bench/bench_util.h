@@ -14,6 +14,7 @@
 #include "thermal/characterize.h"
 #include "thermal/evaluator.h"
 #include "thermal/grid_solver.h"
+#include "thermal/incremental.h"
 #include "util/timer.h"
 
 namespace rlplan::bench {
@@ -35,6 +36,18 @@ inline double flag_double(int argc, char** argv, const char* name,
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
       return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// --name=value string flag (returns fallback when absent).
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
     }
   }
   return fallback;
@@ -130,7 +143,7 @@ inline std::vector<MethodRow> compare_methods(
     sa::Tap25dPlanner planner(tc);
     Timer t;
     if (fast) {
-      thermal::FastModelEvaluator eval(model);
+      thermal::IncrementalFastModelEvaluator eval(model);
       const auto result = planner.plan(system, eval, rc, assigner);
       rows.push_back(
           score("TAP-2.5D*(Fast Thermal Model)", result.best, t.seconds()));

@@ -26,6 +26,7 @@
 #include "systems/synthetic.h"
 #include "thermal/characterize.h"
 #include "thermal/evaluator.h"
+#include "thermal/incremental.h"
 #include "thermal/layer_stack.h"
 #include "util/timer.h"
 
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
       system.interposer_width(), system.interposer_height());
   std::fprintf(stderr, "[micro_rollout] characterization: %.1f s\n",
                charac.report().total_seconds);
-  const thermal::FastModelEvaluator prototype(model);
+  const thermal::IncrementalFastModelEvaluator prototype(model);
 
   rl::PolicyNetConfig net_config;
   net_config.channels_in = rl::FloorplanEnv::kChannels;

@@ -1,15 +1,31 @@
-// Micro-benchmarks of the thermal substrate (google-benchmark).
+// Micro-benchmarks of the thermal substrate.
 //
-// Covers the cost model behind Table II's speed column: full grid solves at
-// several resolutions, matrix assembly alone, fast-model evaluation, and
-// microbump assignment.
+// Two parts:
+//  1. A hand-rolled incremental-vs-batch comparison of single-die moves on
+//     the fast model at 4/8/16/32 chiplets (the reward hot path both
+//     optimizers sit on), printed as a table and emitted as machine-readable
+//     BENCH_thermal.json so later PRs can track the perf trajectory.
+//     Flags: --moves=N, --json=PATH, --smoke (tiny move counts, skip the
+//     google-benchmark suite — the CI smoke step uses this).
+//  2. The google-benchmark suite covering the cost model behind Table II's
+//     speed column: full grid solves at several resolutions, matrix assembly
+//     alone, fast-model evaluation, and microbump assignment.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "bump/assigner.h"
 #include "systems/synthetic.h"
 #include "systems/systems.h"
 #include "thermal/characterize.h"
 #include "thermal/grid_solver.h"
+#include "thermal/incremental.h"
+#include "util/rng.h"
+#include "util/timer.h"
 
 using namespace rlplan;
 
@@ -108,6 +124,176 @@ void BM_BumpAssignmentMultiGpu(benchmark::State& state) {
 }
 BENCHMARK(BM_BumpAssignmentMultiGpu)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------ incremental vs batch ----
+
+constexpr double kBenchInterposer = 80.0;
+
+/// Characterization-free synthetic model (smooth analytic tables) so the
+/// incremental comparison — and the CI smoke run — starts instantly.
+thermal::FastThermalModel synthetic_model() {
+  std::vector<double> dims;
+  for (double d = 2.0; d <= 22.0; d += 4.0) dims.push_back(d);
+  std::vector<std::vector<double>> self_vals(dims.size(),
+                                             std::vector<double>(dims.size()));
+  std::vector<std::vector<double>> droop_vals(
+      dims.size(), std::vector<double>(dims.size()));
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      self_vals[i][j] = 3.0 / (1.0 + 0.04 * dims[i] * dims[j]);
+      droop_vals[i][j] = 0.6;
+    }
+  }
+  const double floor = 0.02;
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 120.0; d += 1.5) {
+    distances.push_back(d);
+    mutual_vals.push_back(floor + 0.8 * std::exp(-d / 10.0));
+  }
+  thermal::FastThermalModel model(
+      thermal::SelfResistanceTable(dims, dims, self_vals),
+      thermal::MutualResistanceTable(distances, mutual_vals), 45.0, {});
+  model.set_image_params(kBenchInterposer, kBenchInterposer, floor);
+  model.set_self_droop(thermal::BilinearTable2D(dims, dims, droop_vals));
+  return model;
+}
+
+struct MoveRow {
+  std::size_t chiplets = 0;
+  double batch_evals_per_sec = 0.0;
+  double incr_evals_per_sec = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff_c = 0.0;
+};
+
+MoveRow run_move_comparison(const thermal::FastThermalModel& model,
+                            std::size_t n, long moves) {
+  systems::SyntheticConfig sc;
+  sc.min_chiplets = n;
+  sc.max_chiplets = n;
+  sc.interposer_w_mm = kBenchInterposer;
+  sc.interposer_h_mm = kBenchInterposer;
+  sc.max_utilization = 0.45;
+  const ChipletSystem sys =
+      systems::SyntheticSystemGenerator(sc).generate(1234 + n, "bench-incr");
+  Rng rng(99 + n);
+  const Floorplan initial = systems::random_legal_floorplan(sys, rng);
+
+  // One shared single-die move tape so both engines do identical work.
+  struct Move {
+    std::size_t die;
+    Point pos;
+  };
+  std::vector<Move> tape;
+  tape.reserve(static_cast<std::size_t>(moves));
+  for (long t = 0; t < moves; ++t) {
+    const auto die = static_cast<std::size_t>(t) % n;
+    const Rect r = initial.rect_of(die);
+    tape.push_back({die,
+                    {rng.uniform(0.0, kBenchInterposer - r.w),
+                     rng.uniform(0.0, kBenchInterposer - r.h)}});
+  }
+
+  MoveRow row;
+  row.chiplets = n;
+  std::vector<double> batch_temps;
+  batch_temps.reserve(tape.size());
+  {
+    thermal::FastModelEvaluator eval(model);
+    Floorplan fp = initial;
+    eval.max_temperature(sys, fp);  // prime (matches the incremental sync)
+    const Timer timer;
+    for (const Move& m : tape) {
+      fp.place(m.die, m.pos, false);
+      batch_temps.push_back(eval.max_temperature(sys, fp));
+    }
+    row.batch_evals_per_sec = static_cast<double>(moves) / timer.seconds();
+  }
+  {
+    thermal::IncrementalFastModelEvaluator eval(model);
+    Floorplan fp = initial;
+    eval.incremental_max_temperature(sys, fp);  // build the coupling cache
+    eval.commit();
+    const Timer timer;
+    std::size_t t = 0;
+    for (const Move& m : tape) {
+      fp.place(m.die, m.pos, false);
+      const double temp = eval.incremental_max_temperature(sys, fp);
+      eval.commit();
+      row.max_abs_diff_c =
+          std::max(row.max_abs_diff_c, std::abs(temp - batch_temps[t++]));
+    }
+    row.incr_evals_per_sec = static_cast<double>(moves) / timer.seconds();
+  }
+  row.speedup = row.incr_evals_per_sec / row.batch_evals_per_sec;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<MoveRow>& rows,
+                long moves, bool smoke) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "[micro_thermal] cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"bench\": \"micro_thermal_incremental\",\n"
+     << "  \"moves_per_size\": " << moves << ",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MoveRow& r = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"chiplets\": %zu, \"batch_evals_per_sec\": %.1f, "
+                  "\"incremental_evals_per_sec\": %.1f, \"speedup\": %.2f, "
+                  "\"max_abs_diff_c\": %.3e}%s\n",
+                  r.chiplets, r.batch_evals_per_sec, r.incr_evals_per_sec,
+                  r.speedup, r.max_abs_diff_c,
+                  i + 1 < rows.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+  std::fprintf(stderr, "[micro_thermal] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = rlplan::bench::flag_present(argc, argv, "smoke");
+  const long moves =
+      rlplan::bench::flag_int(argc, argv, "moves", smoke ? 32 : 2000);
+  const std::string json_path = rlplan::bench::flag_str(
+      argc, argv, "json", "BENCH_thermal.json");
+
+  const thermal::FastThermalModel model = synthetic_model();
+  std::printf("single-die moves, incremental vs batch (default config, %ld "
+              "moves per size)\n",
+              moves);
+  std::printf("%9s %18s %18s %9s %14s\n", "chiplets", "batch evals/s",
+              "incr evals/s", "speedup", "max |diff| C");
+  std::vector<MoveRow> rows;
+  for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+    rows.push_back(run_move_comparison(model, n, moves));
+    const MoveRow& r = rows.back();
+    std::printf("%9zu %18.1f %18.1f %8.2fx %14.3e\n", r.chiplets,
+                r.batch_evals_per_sec, r.incr_evals_per_sec, r.speedup,
+                r.max_abs_diff_c);
+  }
+  write_json(json_path, rows, moves, smoke);
+  for (const MoveRow& r : rows) {
+    if (r.max_abs_diff_c > 1e-9) {
+      std::fprintf(stderr,
+                   "[micro_thermal] FAIL: incremental diverged from batch "
+                   "(%zu chiplets, %.3e C)\n",
+                   r.chiplets, r.max_abs_diff_c);
+      return 1;
+    }
+  }
+
+  if (smoke) return 0;  // tiny-count CI mode: skip the google-benchmark suite
+  // Note: our own --moves/--json flags are left in argv; google-benchmark
+  // ignores flags it does not recognize unless asked to report them.
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

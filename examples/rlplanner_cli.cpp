@@ -28,6 +28,7 @@
 #include "sa/tap25d.h"
 #include "systems/io.h"
 #include "thermal/characterize.h"
+#include "thermal/incremental.h"
 #include "util/timer.h"
 
 using namespace rlplan;
@@ -120,7 +121,7 @@ int main(int argc, char** argv) {
     if (method == "sa-fast") {
       thermal::CharacterizationConfig cc;
       thermal::ThermalCharacterizer charac(stack, cc);
-      thermal::FastModelEvaluator eval(charac.characterize(
+      thermal::IncrementalFastModelEvaluator eval(charac.characterize(
           system.interposer_width(), system.interposer_height()));
       best = planner.plan(system, eval).best;
     } else {

@@ -11,6 +11,7 @@
 #include "sa/tap25d.h"
 #include "systems/synthetic.h"
 #include "thermal/characterize.h"
+#include "thermal/incremental.h"
 #include "util/timer.h"
 
 using namespace rlplan;
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
   tc.anneal.cooling = 0.97;
   tc.seed = 22;
 
-  thermal::FastModelEvaluator fast_eval(model);
+  thermal::IncrementalFastModelEvaluator fast_eval(model);
   sa::Tap25dPlanner sa_fast(tc);
   const auto sa_fast_result = sa_fast.plan(sys, fast_eval);
 

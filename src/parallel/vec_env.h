@@ -2,7 +2,9 @@
 //
 // Each replica owns (a) a private clone of the thermal evaluator — so the
 // episode-end reward evaluation, the expensive part of a step, can run on any
-// worker thread with zero synchronization — and (b) a private action-sampling
+// worker thread with zero synchronization, and incremental evaluators
+// (thermal/incremental.h) keep fully independent per-replica coupling caches
+// fed by each env's notify_place stream — and (b) a private action-sampling
 // RNG whose seed is derived deterministically from the VecEnv seed and the
 // replica index. Because every replica's state is fully self-contained,
 // trajectories are bit-identical to running the same N environments

@@ -43,6 +43,7 @@ FloorplanEnv::FloorplanEnv(const ChipletSystem& system,
 
 const nn::Tensor& FloorplanEnv::reset() {
   floorplan_.clear();
+  evaluator_->notify_reset(*system_);
   t_ = 0;
   done_ = false;
   metrics_ = {};
@@ -82,7 +83,12 @@ StepOutcome FloorplanEnv::step(std::size_t action) {
         "step: infeasible action (the agent must respect the mask)");
   }
   const std::size_t chiplet = current_chiplet();
-  floorplan_.place(chiplet, action_position(action), /*rotated=*/false);
+  const Point position = action_position(action);
+  floorplan_.place(chiplet, position, /*rotated=*/false);
+  // Keep an incremental evaluator in sync as the episode builds up, so the
+  // episode-end temperature query finds every pairwise coupling already
+  // cached (a no-op for evaluators without incremental support).
+  evaluator_->notify_place(*system_, chiplet, {position, /*rotated=*/false});
   ++t_;
 
   StepOutcome out;
@@ -107,7 +113,11 @@ StepOutcome FloorplanEnv::step(std::size_t action) {
 }
 
 double FloorplanEnv::finish_episode() {
-  metrics_ = evaluate_floorplan(floorplan_);
+  // The incremental path reads the state built up by the per-step
+  // notify_place() calls; the default protocol falls back to a full batch
+  // evaluation, so both produce the same temperature.
+  metrics_ = score_floorplan(floorplan_, /*use_incremental=*/true);
+  evaluator_->commit();
   return metrics_.reward;
 }
 
@@ -115,10 +125,17 @@ EpisodeMetrics FloorplanEnv::evaluate_floorplan(const Floorplan& fp) {
   if (!fp.is_complete()) {
     throw std::logic_error("evaluate_floorplan: incomplete floorplan");
   }
+  return score_floorplan(fp, /*use_incremental=*/false);
+}
+
+EpisodeMetrics FloorplanEnv::score_floorplan(const Floorplan& fp,
+                                             bool use_incremental) {
   EpisodeMetrics m;
   m.valid = true;
   m.wirelength_mm = assigner_.assign(*system_, fp).total_mm;
-  m.temperature_c = evaluator_->max_temperature(*system_, fp);
+  m.temperature_c =
+      use_incremental ? evaluator_->incremental_max_temperature(*system_, fp)
+                      : evaluator_->max_temperature(*system_, fp);
   m.reward = reward_calc_.reward(m.wirelength_mm, m.temperature_c);
   return m;
 }

@@ -6,7 +6,11 @@
 // zeroes infeasible cells (overlap / out of bounds), exactly as Fig. 1 of the
 // paper describes. After the final placement, the reward calculator performs
 // microbump assignment for the wirelength term and queries the injected
-// thermal evaluator for the temperature term.
+// thermal evaluator for the temperature term. Each placement is mirrored to
+// the evaluator through the incremental protocol (notify_place), so an
+// incremental evaluator (thermal/incremental.h) has every pairwise thermal
+// coupling cached by the time the episode-end reward is computed; plain
+// evaluators ignore the notifications and evaluate in one batch.
 //
 // Observation: a [C, G, G] tensor with C = 6 channels:
 //   0  occupancy (fractional cell coverage of placed dies)
@@ -104,6 +108,9 @@ class FloorplanEnv {
   void rebuild_mask();
   void rebuild_observation();
   double finish_episode();
+  /// Shared metrics assembly; the flag picks the temperature query style
+  /// (incremental for the internal episode end, batch for external scoring).
+  EpisodeMetrics score_floorplan(const Floorplan& fp, bool use_incremental);
 
   const ChipletSystem* system_;
   thermal::ThermalEvaluator* evaluator_;

@@ -7,6 +7,7 @@
 #include "parallel/collector.h"
 #include "parallel/thread_pool.h"
 #include "parallel/vec_env.h"
+#include "thermal/incremental.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -26,14 +27,17 @@ PlannerResult RlPlanner::plan(const ChipletSystem& system,
   thermal::FastThermalModel model = characterizer.characterize(
       system.interposer_width(), system.interposer_height());
   const double charac_s = timer.seconds();
-  thermal::FastModelEvaluator evaluator(std::move(model));
+  // The incremental evaluator caches pairwise couplings as the env places
+  // dies step by step; it produces the same temperatures as the batch
+  // FastModelEvaluator.
+  thermal::IncrementalFastModelEvaluator evaluator(std::move(model));
   return run(system, stack, evaluator, charac_s);
 }
 
 PlannerResult RlPlanner::plan_with_model(const ChipletSystem& system,
                                          const thermal::LayerStack& stack,
                                          thermal::FastThermalModel model) {
-  thermal::FastModelEvaluator evaluator(std::move(model));
+  thermal::IncrementalFastModelEvaluator evaluator(std::move(model));
   return run(system, stack, evaluator, 0.0);
 }
 

@@ -39,6 +39,18 @@ struct AnnealStats {
   std::vector<double> best_cost_history;  ///< best-so-far after each level
 };
 
+/// Transaction callbacks around each evaluated proposal, so a cost function
+/// with incremental internal state (e.g. an incremental thermal evaluator
+/// that mirrored the candidate's mutations) learns the verdict: on_accept
+/// fires when the candidate becomes the current state (and once for the
+/// initial evaluation), on_reject when it is discarded — including the
+/// calibration probes, which never advance the current state. Either
+/// callback may be empty.
+struct AnnealHooks {
+  std::function<void()> on_accept;
+  std::function<void()> on_reject;
+};
+
 /// Minimizes `cost` over states proposed by `propose`. Returns the best
 /// state encountered; statistics in `stats`.
 template <typename State>
@@ -46,11 +58,13 @@ State anneal(State initial,
              const std::function<double(const State&)>& cost,
              const std::function<std::optional<State>(const State&, Rng&)>&
                  propose,
-             const AnnealOptions& options, Rng& rng, AnnealStats& stats) {
+             const AnnealOptions& options, Rng& rng, AnnealStats& stats,
+             const AnnealHooks& hooks = {}) {
   const Timer timer;
   State current = initial;
   double current_cost = cost(current);
   ++stats.evaluations;
+  if (hooks.on_accept) hooks.on_accept();
   State best = current;
   double best_cost = current_cost;
 
@@ -66,6 +80,7 @@ State anneal(State initial,
       if (!cand) continue;
       const double c = cost(*cand);
       ++stats.evaluations;
+      if (hooks.on_reject) hooks.on_reject();  // probes never advance current
       delta_sum += std::abs(c - current_cost);
       ++samples;
       if (c < best_cost) {
@@ -93,10 +108,13 @@ State anneal(State initial,
         current = std::move(*cand);
         current_cost = cand_cost;
         ++stats.accepted;
+        if (hooks.on_accept) hooks.on_accept();
         if (current_cost < best_cost) {
           best = current;
           best_cost = current_cost;
         }
+      } else if (hooks.on_reject) {
+        hooks.on_reject();
       }
     }
     stats.best_cost_history.push_back(best_cost);

@@ -113,15 +113,24 @@ Tap25dResult Tap25dPlanner::plan(const ChipletSystem& system,
     return next;
   };
 
+  // Drive the thermal term through the incremental protocol: the evaluator
+  // diffs each candidate against its last synced state (one or two dies per
+  // SA move), so an incremental evaluator pays O(n) kernel work per proposal
+  // instead of a full O(n^2) re-evaluation. The accept/reject hooks commit or
+  // roll back the mirrored mutations. Plain evaluators fall back to a full
+  // evaluation and ignore the hooks, preserving the legacy behaviour.
   const auto cost = [&](const Floorplan& state) -> double {
     const double wl = assigner.assign(system, state).total_mm;
-    const double temp = evaluator.max_temperature(system, state);
+    const double temp = evaluator.incremental_max_temperature(system, state);
     return reward_calc.cost(wl, temp);
   };
+  AnnealHooks hooks;
+  hooks.on_accept = [&evaluator] { evaluator.commit(); };
+  hooks.on_reject = [&evaluator] { evaluator.rollback(); };
 
   Tap25dResult result(initial);
   result.best = anneal<Floorplan>(std::move(initial), cost, propose,
-                                  config_.anneal, rng, result.stats);
+                                  config_.anneal, rng, result.stats, hooks);
 
   result.wirelength_mm = assigner.assign(system, result.best).total_mm;
   result.temperature_c = evaluator.max_temperature(system, result.best);

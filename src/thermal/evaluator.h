@@ -34,6 +34,51 @@ class ThermalEvaluator {
   /// episode-end hot path). Returns nullptr when the evaluator cannot be
   /// cloned; callers requiring parallelism must reject that.
   virtual std::unique_ptr<ThermalEvaluator> clone() const { return nullptr; }
+
+  // --- Optional incremental protocol ---------------------------------------
+  // Optimizers that mutate one or two dies per step (the RL env's sequential
+  // placement, TAP-2.5D SA moves) can keep the evaluator's internal state in
+  // sync so a temperature query costs O(changed dies) kernel work instead of
+  // a full O(n^2) re-evaluation. Every method defaults to "not incremental":
+  // the notifications are no-ops and incremental_max_temperature() falls back
+  // to a full max_temperature() evaluation, so callers may drive the protocol
+  // unconditionally against any evaluator.
+
+  /// True when this evaluator maintains incremental state.
+  virtual bool supports_incremental() const { return false; }
+
+  /// Starts (or restarts) an incremental session over `system` with an empty
+  /// placement. `system` must outlive the session.
+  virtual void notify_reset(const ChipletSystem& system) {
+    (void)system;
+  }
+
+  /// Chiplet `i` was placed (or moved) at `p`.
+  virtual void notify_place(const ChipletSystem& system, std::size_t i,
+                            const Placement& p) {
+    (void)system;
+    (void)i;
+    (void)p;
+  }
+
+  /// Chiplet `i` was unplaced.
+  virtual void notify_remove(std::size_t i) { (void)i; }
+
+  /// Accepts all mutations since the previous commit()/rollback() — they can
+  /// no longer be undone.
+  virtual void commit() {}
+
+  /// Reverts all mutations since the previous commit() (the SA reject path).
+  virtual void rollback() {}
+
+  /// Peak temperature of `floorplan`, bringing the incremental state in sync
+  /// first (delta updates for dies whose placement differs from the last
+  /// synced state — explicit notify_* calls simply make this diff empty).
+  /// Default: a plain full evaluation.
+  virtual double incremental_max_temperature(const ChipletSystem& system,
+                                             const Floorplan& floorplan) {
+    return max_temperature(system, floorplan);
+  }
 };
 
 /// Ground-truth adapter ("HotSpot" configuration).

@@ -19,6 +19,16 @@ FastThermalModel::FastThermalModel(SelfResistanceTable self_table,
   if (config_.source_subsamples < 1) {
     throw std::invalid_argument("FastModelConfig: source_subsamples >= 1");
   }
+  // The mutual kernel is THE hot lookup (probes x subsources x 9 images per
+  // die pair): resample non-uniform distance axes once here so every later
+  // lookup resolves its segment with O(1) arithmetic instead of a binary
+  // search. Exact for characterized tables (equal-width distance bins, gaps
+  // integer multiples of the bin); for arbitrary hand-built tables whose
+  // knots don't align with the uniform grid — or with more than the
+  // resample's point cap — this is a piecewise-linear approximation.
+  if (!mutual_table_.empty() && !mutual_table_.is_uniform()) {
+    mutual_table_ = mutual_table_.resampled_uniform();
+  }
 }
 
 double FastThermalModel::decay_kernel(double distance_mm) const {
@@ -51,24 +61,150 @@ double FastThermalModel::image_kernel(const Point& src,
   return uniform_floor_ + k;
 }
 
-namespace {
+int FastThermalModel::probe_count() const {
+  const int np = std::max(config_.receiver_probes, 1);
+  return np * np;
+}
 
-/// Point-sample positions of an n x n sub-source grid over a footprint.
-void subsource_points(const Rect& src, int n, std::vector<Point>& out) {
+void FastThermalModel::source_points(const Rect& footprint,
+                                     std::vector<Point>& out) const {
+  const int n = config_.source_subsamples;
   out.clear();
   if (n == 1) {
-    out.push_back(src.center());
+    out.push_back(footprint.center());
     return;
   }
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
-      out.push_back({src.x + (i + 0.5) * src.w / n,
-                     src.y + (j + 0.5) * src.h / n});
+      out.push_back({footprint.x + (i + 0.5) * footprint.w / n,
+                     footprint.y + (j + 0.5) * footprint.h / n});
     }
   }
 }
 
-}  // namespace
+void FastThermalModel::receiver_probes(const Rect& footprint,
+                                       std::vector<Point>& probes,
+                                       std::vector<double>& shapes) const {
+  const int np = std::max(config_.receiver_probes, 1);
+  const Point ci = footprint.center();
+  const double droop =
+      self_droop_.empty() ? 1.0 : self_droop_.lookup(footprint.w, footprint.h);
+  probes.clear();
+  shapes.clear();
+  for (int pi = 0; pi < np; ++pi) {
+    for (int pj = 0; pj < np; ++pj) {
+      const Point probe =
+          np == 1 ? ci
+                  : Point{footprint.x + (pi + 0.5) * footprint.w / np,
+                          footprint.y + (pj + 0.5) * footprint.h / np};
+      // Normalized square radius in [0, 1]: 0 at center, 1 at corners.
+      const double rx = (probe.x - ci.x) / (footprint.w / 2.0);
+      const double ry = (probe.y - ci.y) / (footprint.h / 2.0);
+      const double rho2 = std::min(1.0, (rx * rx + ry * ry) / 2.0);
+      probes.push_back(probe);
+      shapes.push_back(1.0 - (1.0 - droop) * rho2);
+    }
+  }
+}
+
+double FastThermalModel::self_rise(const Chiplet& chip,
+                                   const Rect& footprint) const {
+  // Orientation-aware lookup: the characterizer fills the full (w, h) grid,
+  // so rotated placements read the correct entry on rectangular interposers.
+  double r_self = self_table_.lookup(footprint.w, footprint.h);
+  const Point ci = footprint.center();
+  if (config_.use_images) {
+    // Off-center self heating: the die couples to its own mirror images.
+    // The centered characterization already contains the (negligible)
+    // center-position images, so only the *excess* relative to the
+    // centered position is added.
+    const Point cc{package_w_mm_ / 2.0, package_h_mm_ / 2.0};
+    const double self_images =
+        image_kernel(ci, ci) - decay_kernel(0.0) - uniform_floor_;
+    const double center_images =
+        image_kernel(cc, cc) - decay_kernel(0.0) - uniform_floor_;
+    r_self += self_images - center_images;
+  } else if (!position_correction_.empty()) {
+    r_self *= position_correction_.lookup(ci.x, ci.y);
+  }
+  return r_self * chip.power;
+}
+
+double FastThermalModel::center_correction(const Point& center) const {
+  return position_correction_.empty()
+             ? 1.0
+             : position_correction_.lookup(center.x, center.y);
+}
+
+double FastThermalModel::pair_correction(double src_corr,
+                                         double dst_corr) const {
+  if (config_.correct_mutual && !position_correction_.empty()) {
+    return std::sqrt(src_corr * dst_corr);
+  }
+  return 1.0;
+}
+
+double FastThermalModel::source_contribution(std::span<const Point> subsources,
+                                             double power_w,
+                                             const Point& probe,
+                                             double correction) const {
+  double m = 0.0;
+  for (const Point& s : subsources) {
+    m += config_.use_images ? image_kernel(s, probe)
+                            : mutual_table_.lookup(euclidean(s, probe));
+  }
+  m *= power_w / static_cast<double>(subsources.size());
+  // Multiplying by an exact 1.0 is the identity, so the disabled-correction
+  // case stays bit-identical to skipping the multiply.
+  m *= correction;
+  return m;
+}
+
+void FastThermalModel::gather_sources(
+    const ChipletSystem& system,
+    const std::vector<std::optional<Rect>>& rects) const {
+  const auto n = system.num_chiplets();
+  const auto ss = static_cast<std::size_t>(config_.source_subsamples) *
+                  static_cast<std::size_t>(config_.source_subsamples);
+  subs_scratch_.resize(n * ss);
+  corr_scratch_.assign(n, 1.0);
+  std::vector<Point> pts;
+  pts.reserve(ss);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!rects[j] || system.chiplet(j).power <= 0.0) continue;
+    source_points(*rects[j], pts);
+    std::copy(pts.begin(), pts.end(), subs_scratch_.begin() + j * ss);
+    corr_scratch_[j] = center_correction(rects[j]->center());
+  }
+}
+
+double FastThermalModel::receiver_peak_rise(
+    const ChipletSystem& system,
+    const std::vector<std::optional<Rect>>& rects, std::size_t i) const {
+  const Chiplet& chip = system.chiplet(i);
+  const Rect& ri = *rects[i];
+  const double self = self_rise(chip, ri);
+  const double c_dst = center_correction(ri.center());
+  receiver_probes(ri, probes_scratch_, shapes_scratch_);
+
+  const auto ss = static_cast<std::size_t>(config_.source_subsamples) *
+                  static_cast<std::size_t>(config_.source_subsamples);
+  double worst = 0.0;
+  for (std::size_t p = 0; p < probes_scratch_.size(); ++p) {
+    const Point& probe = probes_scratch_[p];
+    double mutual = 0.0;
+    for (std::size_t j = 0; j < system.num_chiplets(); ++j) {
+      if (j == i || !rects[j]) continue;
+      const double power = system.chiplet(j).power;
+      if (power <= 0.0) continue;
+      mutual += source_contribution(
+          std::span<const Point>(subs_scratch_.data() + j * ss, ss), power,
+          probe, pair_correction(corr_scratch_[j], c_dst));
+    }
+    worst = std::max(worst, self * shapes_scratch_[p] + mutual);
+  }
+  return worst;
+}
 
 FastThermalResult FastThermalModel::evaluate(const ChipletSystem& system,
                                              const Floorplan& floorplan) const {
@@ -79,79 +215,14 @@ FastThermalResult FastThermalModel::evaluate(const ChipletSystem& system,
   FastThermalResult result;
   result.chiplet_temp_c.assign(system.num_chiplets(), ambient_c_);
 
-  const auto rects = floorplan.placed_rects();
+  rects_scratch_ = floorplan.placed_rects();
+  // Sub-source points and correction factors are per-source quantities:
+  // compute them once per call, not once per (receiver, probe, source).
+  gather_sources(system, rects_scratch_);
   for (std::size_t i = 0; i < system.num_chiplets(); ++i) {
-    if (!rects[i]) continue;
-    const Chiplet& chip = system.chiplet(i);
-    const Rect& ri = *rects[i];
-    // Orientation-aware lookup: the characterizer fills the full (w, h) grid,
-    // so rotated placements read the correct entry on rectangular interposers.
-    double r_self = self_table_.lookup(ri.w, ri.h);
-    const Point ci = ri.center();
-    if (config_.use_images) {
-      // Off-center self heating: the die couples to its own mirror images.
-      // The centered characterization already contains the (negligible)
-      // center-position images, so only the *excess* relative to the
-      // centered position is added.
-      const Point cc{package_w_mm_ / 2.0, package_h_mm_ / 2.0};
-      const double self_images =
-          image_kernel(ci, ci) - decay_kernel(0.0) - uniform_floor_;
-      const double center_images =
-          image_kernel(cc, cc) - decay_kernel(0.0) - uniform_floor_;
-      r_self += self_images - center_images;
-    } else if (!position_correction_.empty()) {
-      r_self *= position_correction_.lookup(ci.x, ci.y);
-    }
-    const double self_rise = r_self * chip.power;
-    const double c_dst = position_correction_.empty()
-                             ? 1.0
-                             : position_correction_.lookup(ci.x, ci.y);
-
-    // Probe the total field at an n x n grid inside the footprint; the
-    // die's peak cell is wherever self heating plus neighbour coupling is
-    // strongest. The self term droops toward the die corners by the
-    // characterized ratio d(w, h).
-    const int np = std::max(config_.receiver_probes, 1);
-    const double droop =
-        self_droop_.empty() ? 1.0 : self_droop_.lookup(ri.w, ri.h);
-    std::vector<Point> subsources;
-    double worst = 0.0;
-    for (int pi = 0; pi < np; ++pi) {
-      for (int pj = 0; pj < np; ++pj) {
-        const Point probe =
-            np == 1 ? ci
-                    : Point{ri.x + (pi + 0.5) * ri.w / np,
-                            ri.y + (pj + 0.5) * ri.h / np};
-        // Normalized square radius in [0, 1]: 0 at center, 1 at corners.
-        const double rx = (probe.x - ci.x) / (ri.w / 2.0);
-        const double ry = (probe.y - ci.y) / (ri.h / 2.0);
-        const double rho2 = std::min(1.0, (rx * rx + ry * ry) / 2.0);
-        const double shape = 1.0 - (1.0 - droop) * rho2;
-
-        double mutual = 0.0;
-        for (std::size_t j = 0; j < system.num_chiplets(); ++j) {
-          if (j == i || !rects[j]) continue;
-          const double power = system.chiplet(j).power;
-          if (power <= 0.0) continue;
-          subsource_points(*rects[j], config_.source_subsamples, subsources);
-          double m = 0.0;
-          for (const Point& s : subsources) {
-            m += config_.use_images
-                     ? image_kernel(s, probe)
-                     : mutual_table_.lookup(euclidean(s, probe));
-          }
-          m *= power / static_cast<double>(subsources.size());
-          if (config_.correct_mutual && !position_correction_.empty()) {
-            const Point sc = rects[j]->center();
-            const double c_src = position_correction_.lookup(sc.x, sc.y);
-            m *= std::sqrt(c_src * c_dst);
-          }
-          mutual += m;
-        }
-        worst = std::max(worst, self_rise * shape + mutual);
-      }
-    }
-    result.chiplet_temp_c[i] = ambient_c_ + worst;
+    if (!rects_scratch_[i]) continue;
+    result.chiplet_temp_c[i] =
+        ambient_c_ + receiver_peak_rise(system, rects_scratch_, i);
   }
 
   result.max_temp_c = ambient_c_;
@@ -165,7 +236,16 @@ FastThermalResult FastThermalModel::evaluate(const ChipletSystem& system,
 double FastThermalModel::chiplet_temperature(const ChipletSystem& system,
                                              const Floorplan& floorplan,
                                              std::size_t chiplet) const {
-  return evaluate(system, floorplan).chiplet_temp_c.at(chiplet);
+  if (empty()) {
+    throw std::logic_error("FastThermalModel: evaluate on empty model");
+  }
+  if (chiplet >= system.num_chiplets()) {
+    throw std::out_of_range("chiplet_temperature: index out of range");
+  }
+  if (!floorplan.is_placed(chiplet)) return ambient_c_;
+  rects_scratch_ = floorplan.placed_rects();
+  gather_sources(system, rects_scratch_);
+  return ambient_c_ + receiver_peak_rise(system, rects_scratch_, chiplet);
 }
 
 void FastThermalModel::save(const std::string& path) const {

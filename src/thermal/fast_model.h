@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -109,13 +110,47 @@ class FastThermalModel {
 
   /// Evaluates all placed chiplets' temperatures; unplaced chiplets read
   /// ambient and contribute no mutual heating.
+  ///
+  /// NOT safe for concurrent calls on the same instance (reuses internal
+  /// scratch buffers); clone the model per thread, as parallel::VecEnv does
+  /// through ThermalEvaluator::clone().
   FastThermalResult evaluate(const ChipletSystem& system,
                              const Floorplan& floorplan) const;
 
-  /// Temperature of a single chiplet (same formula, one row of evaluate()).
+  /// Temperature of a single chiplet: one row of evaluate(), computed
+  /// without touching the other receivers. Unplaced chiplets read ambient.
   double chiplet_temperature(const ChipletSystem& system,
                              const Floorplan& floorplan,
                              std::size_t chiplet) const;
+
+  // --- Evaluation building blocks -----------------------------------------
+  // Shared between evaluate() and the incremental engine
+  // (thermal/incremental.h) so both produce identical numbers: a cached
+  // pairwise contribution is the very double evaluate() would have summed.
+
+  /// Receiver probe points inside `footprint` (probe_count() entries,
+  /// row-major over the probe grid) and the per-probe self-heating shape
+  /// factor (center = 1, drooping toward corners per the droop table).
+  void receiver_probes(const Rect& footprint, std::vector<Point>& probes,
+                       std::vector<double>& shapes) const;
+  /// Number of receiver probe points per die (receiver_probes squared).
+  int probe_count() const;
+  /// Sub-source point grid of a source footprint (source_subsamples squared
+  /// entries).
+  void source_points(const Rect& footprint, std::vector<Point>& out) const;
+  /// Self term in K: R_self * power with the configured boundary treatment
+  /// (mirror images or the measured position correction).
+  double self_rise(const Chiplet& chip, const Rect& footprint) const;
+  /// Position-correction factor at a die center (1 when no table installed).
+  double center_correction(const Point& center) const;
+  /// Mutual pair scale sqrt(C_src * C_dst) under config().correct_mutual;
+  /// exactly 1.0 otherwise.
+  double pair_correction(double src_corr, double dst_corr) const;
+  /// Temperature rise at `probe` caused by one source die: kernel summed
+  /// over its sub-sources, scaled by power and the pair correction.
+  double source_contribution(std::span<const Point> subsources,
+                             double power_w, const Point& probe,
+                             double correction) const;
 
   void save(const std::string& path) const;
   static FastThermalModel load(const std::string& path);
@@ -125,6 +160,15 @@ class FastThermalModel {
   double decay_kernel(double distance_mm) const;
   /// Kernel evaluated source -> probe including first-order mirror images.
   double image_kernel(const Point& src, const Point& probe) const;
+  /// Fills the per-source scratch (sub-source points, correction factors)
+  /// for every placed, powered die in `rects`.
+  void gather_sources(const ChipletSystem& system,
+                      const std::vector<std::optional<Rect>>& rects) const;
+  /// Peak rise of receiver `i` over its probe grid, using gather_sources()
+  /// scratch for the mutual term.
+  double receiver_peak_rise(const ChipletSystem& system,
+                            const std::vector<std::optional<Rect>>& rects,
+                            std::size_t i) const;
 
   SelfResistanceTable self_table_;
   MutualResistanceTable mutual_table_;
@@ -135,6 +179,15 @@ class FastThermalModel {
   double package_h_mm_ = 0.0;
   double uniform_floor_ = 0.0;  // K/W
   FastModelConfig config_{};
+
+  // Scratch reused across evaluate() calls (why evaluate() is const but not
+  // concurrency-safe on a shared instance). Sub-source points are stored
+  // flat, source_subsamples^2 per die.
+  mutable std::vector<std::optional<Rect>> rects_scratch_;
+  mutable std::vector<Point> subs_scratch_;
+  mutable std::vector<double> corr_scratch_;
+  mutable std::vector<Point> probes_scratch_;
+  mutable std::vector<double> shapes_scratch_;
 };
 
 }  // namespace rlplan::thermal

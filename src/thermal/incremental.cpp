@@ -1,0 +1,268 @@
+#include "thermal/incremental.h"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+namespace rlplan::thermal {
+
+IncrementalThermalState::IncrementalThermalState(const FastThermalModel& model,
+                                                 const ChipletSystem& system)
+    : model_(&model), system_(&system) {
+  if (model.empty()) {
+    throw std::invalid_argument(
+        "IncrementalThermalState: model has no tables");
+  }
+  const std::size_t n = system.num_chiplets();
+  if (n > kMaxChiplets) {
+    throw std::invalid_argument(
+        "IncrementalThermalState: system exceeds kMaxChiplets");
+  }
+  probe_count_ = static_cast<std::size_t>(model.probe_count());
+  dies_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dies_[i].power = system.chiplet(i).power;
+  }
+  pair_.assign(n * n * probe_count_, 0.0);
+}
+
+void IncrementalThermalState::apply_place(std::size_t i, const Placement& p) {
+  DieCache& die = dies_[i];
+  if (!die.placement) ++num_placed_;
+  die.placement = p;
+  const Chiplet& chip = system_->chiplet(i);
+  const double w = p.rotated ? chip.height : chip.width;
+  const double h = p.rotated ? chip.width : chip.height;
+  die.rect = Rect{p.position.x, p.position.y, w, h};
+  model_->receiver_probes(die.rect, die.probes, die.shapes);
+  die.self_rise = model_->self_rise(chip, die.rect);
+  die.corr = model_->center_correction(die.rect.center());
+  if (die.power > 0.0) model_->source_points(die.rect, die.subs);
+
+  // Refresh the couplings involving die i, in both directions.
+  for (std::size_t j = 0; j < dies_.size(); ++j) {
+    if (j == i || !dies_[j].placement) continue;
+    const DieCache& other = dies_[j];
+    if (other.power > 0.0) {
+      // Source j -> receiver i.
+      const double corr = model_->pair_correction(other.corr, die.corr);
+      double* row = pair_row(i, j);
+      for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
+        row[p_idx] = model_->source_contribution(
+            std::span<const Point>(other.subs), other.power,
+            die.probes[p_idx], corr);
+      }
+      ++pair_updates_;
+    }
+    if (die.power > 0.0) {
+      // Source i -> receiver j.
+      const double corr = model_->pair_correction(die.corr, other.corr);
+      double* row = pair_row(j, i);
+      for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
+        row[p_idx] = model_->source_contribution(
+            std::span<const Point>(die.subs), die.power, other.probes[p_idx],
+            corr);
+      }
+      ++pair_updates_;
+    }
+  }
+}
+
+void IncrementalThermalState::apply_remove(std::size_t i) {
+  if (dies_[i].placement) {
+    dies_[i].placement.reset();
+    --num_placed_;
+  }
+  // Cached couplings and geometry stay behind: they are only read for placed
+  // dies, and re-placing i recomputes them.
+}
+
+void IncrementalThermalState::place(std::size_t i, const Placement& p) {
+  if (i >= dies_.size()) {
+    throw std::out_of_range("IncrementalThermalState: chiplet index");
+  }
+  if (dies_[i].placement == p) return;
+  JournalEntry entry;
+  entry.die = i;
+  entry.prev_cache = dies_[i];
+  // Placing overwrites the die's couplings with every placed peer; snapshot
+  // them so undo() is a copy, not a kernel recomputation. Unconditional even
+  // for a first-time place: an earlier remove(i) in the same transaction
+  // still needs the pre-place rows back when it is undone.
+  for (std::size_t j = 0; j < dies_.size(); ++j) {
+    if (j == i || !dies_[j].placement) continue;
+    entry.peers.push_back(j);
+    const double* ij = pair_row(i, j);
+    const double* ji = pair_row(j, i);
+    entry.saved_rows.insert(entry.saved_rows.end(), ij, ij + probe_count_);
+    entry.saved_rows.insert(entry.saved_rows.end(), ji, ji + probe_count_);
+  }
+  journal_.push_back(std::move(entry));
+  apply_place(i, p);
+}
+
+void IncrementalThermalState::remove(std::size_t i) {
+  if (i >= dies_.size()) {
+    throw std::out_of_range("IncrementalThermalState: chiplet index");
+  }
+  if (!dies_[i].placement) return;
+  // Removal leaves every pair row untouched (and nothing writes rows of an
+  // unplaced die), so the cache snapshot alone restores it.
+  JournalEntry entry;
+  entry.die = i;
+  entry.prev_cache = dies_[i];
+  journal_.push_back(std::move(entry));
+  apply_remove(i);
+}
+
+void IncrementalThermalState::clear() {
+  for (std::size_t i = 0; i < dies_.size(); ++i) remove(i);
+}
+
+void IncrementalThermalState::sync(const Floorplan& fp) {
+  if (fp.num_chiplets() != dies_.size()) {
+    throw std::invalid_argument(
+        "IncrementalThermalState: floorplan/system size mismatch");
+  }
+  for (std::size_t i = 0; i < dies_.size(); ++i) {
+    const auto& target = fp.placement(i);
+    if (target == dies_[i].placement) continue;
+    if (target) {
+      place(i, *target);
+    } else {
+      remove(i);
+    }
+  }
+}
+
+void IncrementalThermalState::undo() {
+  // Restore snapshots newest-first: at each step the placed set equals what
+  // it was right after the corresponding forward mutation, so the journaled
+  // peer rows land exactly where apply_place() overwrote them.
+  while (!journal_.empty()) {
+    JournalEntry entry = std::move(journal_.back());
+    journal_.pop_back();
+    const bool placed_now = dies_[entry.die].placement.has_value();
+    const bool placed_before = entry.prev_cache.placement.has_value();
+    if (placed_now && !placed_before) --num_placed_;
+    if (!placed_now && placed_before) ++num_placed_;
+    dies_[entry.die] = std::move(entry.prev_cache);
+    const double* saved = entry.saved_rows.data();
+    for (const std::size_t j : entry.peers) {
+      std::copy(saved, saved + probe_count_, pair_row(entry.die, j));
+      saved += probe_count_;
+      std::copy(saved, saved + probe_count_, pair_row(j, entry.die));
+      saved += probe_count_;
+    }
+  }
+}
+
+double IncrementalThermalState::receiver_peak_rise(std::size_t i) const {
+  const DieCache& die = dies_[i];
+  double worst = 0.0;
+  for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
+    double mutual = 0.0;
+    // Source-index order matches the batch evaluator's inner loop, so the
+    // accumulated sum is the identical sequence of additions.
+    for (std::size_t j = 0; j < dies_.size(); ++j) {
+      if (j == i || !dies_[j].placement || dies_[j].power <= 0.0) continue;
+      mutual += pair_row(i, j)[p_idx];
+    }
+    worst = std::max(worst, die.self_rise * die.shapes[p_idx] + mutual);
+  }
+  return worst;
+}
+
+double IncrementalThermalState::max_temperature_c() const {
+  double max_temp = model_->ambient_c();
+  for (std::size_t i = 0; i < dies_.size(); ++i) {
+    if (!dies_[i].placement) continue;
+    max_temp =
+        std::max(max_temp, model_->ambient_c() + receiver_peak_rise(i));
+  }
+  return max_temp;
+}
+
+double IncrementalThermalState::chiplet_temperature_c(std::size_t i) const {
+  if (!dies_.at(i).placement) return model_->ambient_c();
+  return model_->ambient_c() + receiver_peak_rise(i);
+}
+
+void IncrementalThermalState::temperatures(std::vector<double>& out) const {
+  out.assign(dies_.size(), model_->ambient_c());
+  for (std::size_t i = 0; i < dies_.size(); ++i) {
+    if (dies_[i].placement) {
+      out[i] = model_->ambient_c() + receiver_peak_rise(i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+double IncrementalFastModelEvaluator::fingerprint(
+    const ChipletSystem& system) {
+  // Cheap content hash so a *different* system recycled at the same address
+  // (common in test loops) forces a session rebuild instead of silently
+  // reading stale per-die caches.
+  double fp = static_cast<double>(system.num_chiplets()) +
+              1e-3 * system.interposer_width() +
+              1e-6 * system.interposer_height();
+  for (const Chiplet& c : system.chiplets()) {
+    fp = fp * 1.0000001 + c.width * 0.13 + c.height * 0.29 + c.power * 0.57;
+  }
+  return fp;
+}
+
+bool IncrementalFastModelEvaluator::ensure_session(
+    const ChipletSystem& system) {
+  if (system.num_chiplets() > IncrementalThermalState::kMaxChiplets) {
+    return false;
+  }
+  const double fp = fingerprint(system);
+  if (!state_ || session_system_ != &system || session_fingerprint_ != fp) {
+    state_.emplace(model_, system);
+    session_system_ = &system;
+    session_fingerprint_ = fp;
+  }
+  return true;
+}
+
+void IncrementalFastModelEvaluator::notify_reset(const ChipletSystem& system) {
+  if (!ensure_session(system)) return;
+  state_->commit();
+  state_->clear();
+  state_->commit();
+}
+
+void IncrementalFastModelEvaluator::notify_place(const ChipletSystem& system,
+                                                 std::size_t i,
+                                                 const Placement& p) {
+  if (!ensure_session(system)) return;
+  state_->place(i, p);
+}
+
+void IncrementalFastModelEvaluator::notify_remove(std::size_t i) {
+  if (state_) state_->remove(i);
+}
+
+void IncrementalFastModelEvaluator::commit() {
+  if (state_) state_->commit();
+}
+
+void IncrementalFastModelEvaluator::rollback() {
+  if (state_) state_->undo();
+}
+
+double IncrementalFastModelEvaluator::incremental_max_temperature(
+    const ChipletSystem& system, const Floorplan& floorplan) {
+  if (!ensure_session(system)) {
+    // Oversized system: dense pair cache not worth it, batch evaluate.
+    return max_temperature(system, floorplan);
+  }
+  state_->sync(floorplan);
+  ++count_;
+  ++incremental_queries_;
+  return state_->max_temperature_c();
+}
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,203 @@
+// Incremental thermal evaluation engine (the reward hot path).
+//
+// FastThermalModel::evaluate() is a superposition: receiver i's temperature
+// is its own self term plus the sum over every other placed die j of a
+// pairwise coupling term that depends only on (i's probe points, j's
+// sub-sources, both powers). Both optimizers mutate one or two dies per step
+// (the RL env places one chiplet per action; TAP-2.5D SA displaces/swaps/
+// rotates), so almost every pairwise term of the previous evaluation is
+// still valid.
+//
+// IncrementalThermalState caches exactly those terms: a dense pairwise
+// coupling table pair[receiver][source][probe] plus per-die self terms and
+// probe/sub-source geometry. Placing (or moving) one die recomputes only the
+// O(n) couplings involving that die; removing a die or undoing a rejected SA
+// move costs no kernel work at all. A temperature query sums cached
+// couplings in the same source order as the batch evaluator, so incremental
+// and batch results agree exactly (each summed double is the very value
+// evaluate() would have produced).
+//
+// IncrementalFastModelEvaluator adapts the state to the ThermalEvaluator
+// incremental protocol (notify_place / notify_remove / commit / rollback)
+// and is a drop-in replacement for FastModelEvaluator everywhere — including
+// parallel::VecEnv, whose per-replica clones each get independent state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "thermal/evaluator.h"
+#include "thermal/fast_model.h"
+
+namespace rlplan::thermal {
+
+class IncrementalThermalState {
+ public:
+  /// Dense pair-cache memory grows as n^2 * probes^2; beyond this many dies
+  /// callers should prefer batch evaluation (IncrementalFastModelEvaluator
+  /// falls back automatically).
+  static constexpr std::size_t kMaxChiplets = 256;
+
+  /// `model` and `system` must outlive the state. Starts with an empty
+  /// placement. Throws std::invalid_argument when the system exceeds
+  /// kMaxChiplets or the model is empty.
+  IncrementalThermalState(const FastThermalModel& model,
+                          const ChipletSystem& system);
+
+  const ChipletSystem& system() const { return *system_; }
+  const FastThermalModel& model() const { return *model_; }
+
+  std::size_t num_placed() const { return num_placed_; }
+  bool is_placed(std::size_t i) const { return dies_.at(i).placement.has_value(); }
+  const std::optional<Placement>& placement(std::size_t i) const {
+    return dies_.at(i).placement;
+  }
+
+  /// Places chiplet `i` (or moves it when already placed): recomputes the
+  /// O(n * probes^2 * subsources^2) couplings involving i. Journaled: a move
+  /// additionally snapshots the overwritten couplings so undo() can restore
+  /// them without kernel work.
+  void place(std::size_t i, const Placement& p);
+  /// Unplaces chiplet `i` (no kernel work). Journaled; no-op when unplaced.
+  void remove(std::size_t i);
+  /// Removes every placed chiplet (journaled like individual removes).
+  void clear();
+  /// Applies delta updates so the state matches `fp` (place/remove for each
+  /// die whose placement differs). `fp` must be over the same system.
+  void sync(const Floorplan& fp);
+
+  /// Accepts all mutations since the last commit()/undo().
+  void commit() { journal_.clear(); }
+  /// Reverts all mutations since the last commit(), newest first, by
+  /// restoring journaled snapshots — no kernel evaluations (the SA reject
+  /// path costs pure memory copies).
+  void undo();
+
+  /// Peak temperature over placed dies (ambient when none placed), equal to
+  /// FastThermalModel::evaluate(...).max_temp_c on the synced placement.
+  double max_temperature_c() const;
+  /// Temperature of one chiplet (ambient when unplaced) — one row of the
+  /// batch result.
+  double chiplet_temperature_c(std::size_t i) const;
+  /// All chiplet temperatures, indexed like the system.
+  void temperatures(std::vector<double>& out) const;
+
+  /// Directed pair couplings recomputed so far (perf accounting: a batch
+  /// evaluation costs n*(n-1) of these, a single-die move costs 2*(n-1)).
+  long pair_updates() const { return pair_updates_; }
+
+ private:
+  struct DieCache {
+    std::optional<Placement> placement;
+    Rect rect{};
+    double power = 0.0;      // from the system; fixed
+    double self_rise = 0.0;  // R_self * power at the current placement
+    double corr = 1.0;       // position-correction factor at the center
+    std::vector<Point> probes;   // receiver probe points (probe_count())
+    std::vector<double> shapes;  // per-probe self-heating shape factors
+    std::vector<Point> subs;     // sub-source points (when power > 0)
+  };
+
+  struct JournalEntry {
+    std::size_t die = 0;
+    DieCache prev_cache;  // the die's full cache (incl. placement) before
+    // Pair rows a move overwrote: for each peer j placed at mutation time,
+    // the 2 * probe_count_ doubles of pair(die, j) followed by pair(j, die).
+    // Empty for removes and first-time places (their undo needs no rows).
+    std::vector<std::size_t> peers;
+    std::vector<double> saved_rows;
+  };
+
+  // Mutation primitives without journaling.
+  void apply_place(std::size_t i, const Placement& p);
+  void apply_remove(std::size_t i);
+
+  double* pair_row(std::size_t receiver, std::size_t source) {
+    return pair_.data() + (receiver * dies_.size() + source) * probe_count_;
+  }
+  const double* pair_row(std::size_t receiver, std::size_t source) const {
+    return pair_.data() + (receiver * dies_.size() + source) * probe_count_;
+  }
+
+  /// Peak rise of placed receiver `i`: max over probes of self * shape plus
+  /// cached couplings summed in source-index order (matching the batch
+  /// evaluator's accumulation order exactly).
+  double receiver_peak_rise(std::size_t i) const;
+
+  const FastThermalModel* model_ = nullptr;
+  const ChipletSystem* system_ = nullptr;
+  std::size_t probe_count_ = 0;
+  std::size_t num_placed_ = 0;
+  std::vector<DieCache> dies_;
+  // pair_[(i * n + j) * probe_count_ + p]: rise at probe p of receiver i
+  // caused by source j (power and pair correction folded in). Valid while
+  // both dies keep the placement it was computed at.
+  std::vector<double> pair_;
+  std::vector<JournalEntry> journal_;
+  long pair_updates_ = 0;
+};
+
+/// Fast-model evaluator with the incremental protocol: behaves exactly like
+/// FastModelEvaluator for batch queries, and answers
+/// incremental_max_temperature() from an IncrementalThermalState kept in
+/// sync with the caller's floorplan via diffing plus explicit notify_* calls.
+class IncrementalFastModelEvaluator final : public ThermalEvaluator {
+ public:
+  explicit IncrementalFastModelEvaluator(FastThermalModel model)
+      : model_(std::move(model)) {}
+
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    ++count_;
+    ++full_evals_;
+    return model_.evaluate(system, floorplan).max_temp_c;
+  }
+  long num_evaluations() const override { return count_; }
+  std::string name() const override { return "fast-model-incremental"; }
+
+  /// Deep copy with fresh (empty) incremental state — what VecEnv clones for
+  /// each replica.
+  std::unique_ptr<ThermalEvaluator> clone() const override {
+    return std::make_unique<IncrementalFastModelEvaluator>(model_);
+  }
+
+  bool supports_incremental() const override { return true; }
+  void notify_reset(const ChipletSystem& system) override;
+  void notify_place(const ChipletSystem& system, std::size_t i,
+                    const Placement& p) override;
+  void notify_remove(std::size_t i) override;
+  void commit() override;
+  void rollback() override;
+  double incremental_max_temperature(const ChipletSystem& system,
+                                     const Floorplan& floorplan) override;
+
+  const FastThermalModel& model() const { return model_; }
+  /// Incremental-path queries answered so far.
+  long incremental_queries() const { return incremental_queries_; }
+  /// Full batch evaluations performed (fallbacks + max_temperature calls).
+  long full_evaluations() const { return full_evals_; }
+  const IncrementalThermalState* state() const {
+    return state_ ? &*state_ : nullptr;
+  }
+
+ private:
+  /// (Re)binds the session to `system`, detecting both pointer changes and a
+  /// different system recycled at the same address.
+  bool ensure_session(const ChipletSystem& system);
+  static double fingerprint(const ChipletSystem& system);
+
+  FastThermalModel model_;
+  std::optional<IncrementalThermalState> state_;
+  const ChipletSystem* session_system_ = nullptr;
+  double session_fingerprint_ = 0.0;
+  long count_ = 0;
+  long incremental_queries_ = 0;
+  long full_evals_ = 0;
+};
+
+}  // namespace rlplan::thermal

@@ -30,6 +30,29 @@ std::size_t segment_index(const std::vector<double>& axis, double x) {
   return static_cast<std::size_t>(it - axis.begin()) - 1;
 }
 
+double uniform_inv_step(const std::vector<double>& axis) {
+  const double step = (axis.back() - axis.front()) /
+                      static_cast<double>(axis.size() - 1);
+  if (!(step > 0.0)) return 0.0;
+  // Tolerate only rounding-level deviation: a wrong segment pick near a knot
+  // then costs O(tolerance * slope), far below every consumer's precision.
+  const double tol = 1e-12 * step;
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    if (std::abs((axis[i] - axis[i - 1]) - step) > tol) return 0.0;
+  }
+  return 1.0 / step;
+}
+
+std::size_t segment_index_fast(const std::vector<double>& axis,
+                               double inv_step, double x) {
+  if (inv_step > 0.0) {
+    const double t = (x - axis.front()) * inv_step;
+    const auto i = static_cast<std::size_t>(std::max(t, 0.0));
+    return std::min(i, axis.size() - 2);
+  }
+  return segment_index(axis, x);
+}
+
 }  // namespace table_detail
 
 SelfResistanceTable::SelfResistanceTable(
@@ -48,6 +71,8 @@ SelfResistanceTable::SelfResistanceTable(
       throw std::invalid_argument("self table: values cols != heights");
     }
   }
+  width_inv_step_ = table_detail::uniform_inv_step(widths_);
+  height_inv_step_ = table_detail::uniform_inv_step(heights_);
 }
 
 double SelfResistanceTable::lookup(double width_mm, double height_mm) const {
@@ -56,8 +81,10 @@ double SelfResistanceTable::lookup(double width_mm, double height_mm) const {
   }
   const double w = std::clamp(width_mm, widths_.front(), widths_.back());
   const double h = std::clamp(height_mm, heights_.front(), heights_.back());
-  const std::size_t i = table_detail::segment_index(widths_, w);
-  const std::size_t j = table_detail::segment_index(heights_, h);
+  const std::size_t i =
+      table_detail::segment_index_fast(widths_, width_inv_step_, w);
+  const std::size_t j =
+      table_detail::segment_index_fast(heights_, height_inv_step_, h);
   const double tw = (w - widths_[i]) / (widths_[i + 1] - widths_[i]);
   const double th = (h - heights_[j]) / (heights_[j + 1] - heights_[j]);
   const double v00 = values_[i][j];
@@ -109,6 +136,7 @@ MutualResistanceTable::MutualResistanceTable(std::vector<double> distances_mm,
   if (values_.size() != distances_.size()) {
     throw std::invalid_argument("mutual table: values size != distances");
   }
+  inv_step_ = table_detail::uniform_inv_step(distances_);
 }
 
 double MutualResistanceTable::lookup(double distance_mm) const {
@@ -117,9 +145,36 @@ double MutualResistanceTable::lookup(double distance_mm) const {
   }
   const double d =
       std::clamp(distance_mm, distances_.front(), distances_.back());
-  const std::size_t i = table_detail::segment_index(distances_, d);
+  const std::size_t i =
+      table_detail::segment_index_fast(distances_, inv_step_, d);
   const double t = (d - distances_[i]) / (distances_[i + 1] - distances_[i]);
   return (1.0 - t) * values_[i] + t * values_[i + 1];
+}
+
+MutualResistanceTable MutualResistanceTable::resampled_uniform(
+    std::size_t max_points) const {
+  if (empty()) {
+    throw std::logic_error("MutualResistanceTable: resample of empty table");
+  }
+  if (is_uniform()) return *this;
+  double min_gap = distances_.back() - distances_.front();
+  for (std::size_t i = 1; i < distances_.size(); ++i) {
+    min_gap = std::min(min_gap, distances_[i] - distances_[i - 1]);
+  }
+  const double span = distances_.back() - distances_.front();
+  auto n = static_cast<std::size_t>(std::llround(span / min_gap)) + 1;
+  n = std::clamp<std::size_t>(n, distances_.size(), max_points);
+  const double step = span / static_cast<double>(n - 1);
+  std::vector<double> distances(n);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = i + 1 == n
+                         ? distances_.back()
+                         : distances_.front() + static_cast<double>(i) * step;
+    distances[i] = d;
+    values[i] = lookup(d);
+  }
+  return MutualResistanceTable(std::move(distances), std::move(values));
 }
 
 void MutualResistanceTable::save(std::ostream& os) const {

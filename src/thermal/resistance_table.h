@@ -12,6 +12,13 @@
 // Both interpolate (bilinear / linear) and clamp outside the characterized
 // range. Tables serialize to a small text format so characterization can be
 // cached across runs.
+//
+// Lookup cost: axes whose knots are uniformly spaced (within rounding) are
+// detected at construction and indexed in O(1) by arithmetic; non-uniform
+// axes fall back to binary search. MutualResistanceTable::resampled_uniform()
+// converts an arbitrary table into a uniform-step one so hot paths (the fast
+// thermal model's kernel, evaluated millions of times per optimization run)
+// never touch the binary-search path.
 #pragma once
 
 #include <iosfwd>
@@ -46,6 +53,9 @@ class SelfResistanceTable {
   std::vector<double> widths_;
   std::vector<double> heights_;
   std::vector<std::vector<double>> values_;  // [width index][height index]
+  // Reciprocal knot spacing per axis when uniform; 0 = binary-search fallback.
+  double width_inv_step_ = 0.0;
+  double height_inv_step_ = 0.0;
 };
 
 /// 1D linear-interpolated table over center-to-center distance in mm.
@@ -63,12 +73,24 @@ class MutualResistanceTable {
   /// R_mutual(d) in K/W, linear, clamped at both ends.
   double lookup(double distance_mm) const;
 
+  /// True when the distance knots are uniformly spaced (within rounding), so
+  /// lookup() resolves its segment in O(1) instead of a binary search.
+  bool is_uniform() const { return inv_step_ > 0.0; }
+
+  /// Piecewise-linear resample onto a uniform-step grid spanning the same
+  /// range. The step is the smallest original knot gap (capped at
+  /// `max_points` samples); when every gap is an integer multiple of the
+  /// smallest one — as the characterizer's distance-binned tables are — the
+  /// resampled table represents the identical piecewise-linear function.
+  MutualResistanceTable resampled_uniform(std::size_t max_points = 4096) const;
+
   void save(std::ostream& os) const;
   static MutualResistanceTable load(std::istream& is);
 
  private:
   std::vector<double> distances_;
   std::vector<double> values_;
+  double inv_step_ = 0.0;  // reciprocal knot spacing when uniform, else 0
 };
 
 /// Generic 2D bilinear table alias: also used for the position-correction
@@ -82,6 +104,13 @@ namespace table_detail {
 std::size_t segment_index(const std::vector<double>& axis, double x);
 /// Throws std::invalid_argument unless strictly increasing with >= 2 entries.
 void check_axis(const std::vector<double>& axis, const std::string& name);
+/// Reciprocal of the (uniform) knot spacing, or 0 when the axis is not
+/// uniformly spaced within a small relative tolerance.
+double uniform_inv_step(const std::vector<double>& axis);
+/// segment_index specialised: O(1) arithmetic when inv_step > 0 (uniform
+/// axis), binary search otherwise. `x` must already be clamped to the axis.
+std::size_t segment_index_fast(const std::vector<double>& axis,
+                               double inv_step, double x);
 }  // namespace table_detail
 
 }  // namespace rlplan::thermal

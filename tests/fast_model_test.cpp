@@ -104,6 +104,25 @@ TEST_F(FastModelTest, LinearInPower) {
   EXPECT_NEAR(rise2, 2.0 * rise1, 1e-6);
 }
 
+TEST_F(FastModelTest, ChipletTemperatureMatchesEvaluateRow) {
+  // chiplet_temperature computes a single receiver row without evaluating
+  // the whole system; it must agree with the corresponding evaluate() entry.
+  const auto sys = two_die_system(25.0, 12.0);
+  Floorplan fp(sys);
+  fp.place(0, {6.0, 14.0});
+  fp.place(1, {22.0, 18.0});
+  const auto batch = model_->evaluate(sys, fp);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    EXPECT_NEAR(model_->chiplet_temperature(sys, fp, i),
+                batch.chiplet_temp_c[i], 1e-12);
+  }
+  Floorplan partial(sys);
+  partial.place(0, {6.0, 14.0});
+  EXPECT_DOUBLE_EQ(model_->chiplet_temperature(sys, partial, 1),
+                   model_->ambient_c());
+  EXPECT_THROW(model_->chiplet_temperature(sys, fp, 99), std::out_of_range);
+}
+
 TEST_F(FastModelTest, UnplacedChipletsReadAmbient) {
   const auto sys = two_die_system(30.0, 10.0);
   Floorplan fp(sys);

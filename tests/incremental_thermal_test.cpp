@@ -1,0 +1,319 @@
+// Equivalence fuzzing for the incremental thermal engine: random
+// place/move/remove/undo/commit sequences must match batch
+// FastThermalModel::evaluate() on every chiplet temperature, across the
+// FastModelConfig variants (images on/off, position correction, droop).
+#include "thermal/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/floorplan.h"
+#include "rl/env.h"
+#include "systems/synthetic.h"
+#include "thermal/evaluator.h"
+#include "util/rng.h"
+
+namespace rlplan::thermal {
+namespace {
+
+constexpr double kInterposer = 50.0;
+
+// Synthetic characterization-free model: smooth analytic tables so the fuzz
+// loop costs microseconds per batch reference evaluation.
+FastThermalModel make_model(const FastModelConfig& config,
+                            bool with_correction, bool with_droop) {
+  std::vector<double> dims;
+  for (double d = 2.0; d <= 22.0; d += 4.0) dims.push_back(d);
+  std::vector<std::vector<double>> self_vals(dims.size(),
+                                             std::vector<double>(dims.size()));
+  std::vector<std::vector<double>> droop_vals(
+      dims.size(), std::vector<double>(dims.size()));
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      self_vals[i][j] = 3.0 / (1.0 + 0.04 * dims[i] * dims[j]);
+      droop_vals[i][j] = 0.55 + 0.002 * (dims[i] + dims[j]);
+    }
+  }
+  const double floor = 0.02;
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 75.0; d += 1.5) {
+    distances.push_back(d);
+    mutual_vals.push_back(floor + 0.8 * std::exp(-d / 8.0));
+  }
+  FastThermalModel model(SelfResistanceTable(dims, dims, self_vals),
+                         MutualResistanceTable(distances, mutual_vals), 45.0,
+                         config);
+  model.set_image_params(kInterposer, kInterposer, floor);
+  if (with_droop) {
+    model.set_self_droop(BilinearTable2D(dims, dims, droop_vals));
+  }
+  if (with_correction) {
+    std::vector<double> axis{0.0, kInterposer / 2.0, kInterposer};
+    // Hotter near the edges, coolest at the center.
+    std::vector<std::vector<double>> corr{
+        {1.3, 1.2, 1.3}, {1.2, 1.0, 1.2}, {1.3, 1.2, 1.3}};
+    model.set_position_correction(BilinearTable2D(axis, axis, corr));
+  }
+  return model;
+}
+
+struct Variant {
+  const char* name;
+  FastModelConfig config;
+  bool correction;
+  bool droop;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> v;
+  v.push_back({"images+droop", FastModelConfig{}, false, true});
+  FastModelConfig plain;
+  plain.use_images = false;
+  v.push_back({"plain", plain, false, false});
+  FastModelConfig corrected;
+  corrected.use_images = false;
+  corrected.correct_mutual = true;
+  v.push_back({"correction", corrected, true, true});
+  FastModelConfig paper_min;
+  paper_min.use_images = true;
+  paper_min.source_subsamples = 1;
+  paper_min.receiver_probes = 1;
+  paper_min.image_reflectivity = 0.6;
+  v.push_back({"single-probe", paper_min, false, false});
+  return v;
+}
+
+ChipletSystem random_system(Rng& rng, std::size_t min_n = 2,
+                            std::size_t max_n = 8) {
+  systems::SyntheticConfig sc;
+  sc.min_chiplets = min_n;
+  sc.max_chiplets = max_n;
+  sc.interposer_w_mm = kInterposer;
+  sc.interposer_h_mm = kInterposer;
+  return systems::SyntheticSystemGenerator(sc).generate(rng.next(), "fuzz");
+}
+
+Placement random_placement(const ChipletSystem& sys, std::size_t i, Rng& rng) {
+  const bool rotated = rng.uniform() < 0.3;
+  const Chiplet& c = sys.chiplet(i);
+  const double w = rotated ? c.height : c.width;
+  const double h = rotated ? c.width : c.height;
+  // The thermal model has no legality notion: any in-bounds position is a
+  // valid fuzz input, overlaps included.
+  return {{rng.uniform(0.0, kInterposer - w), rng.uniform(0.0, kInterposer - h)},
+          rotated};
+}
+
+void expect_state_matches_batch(const IncrementalThermalState& state,
+                                const FastThermalModel& model,
+                                const ChipletSystem& sys, const Floorplan& fp,
+                                const char* context) {
+  const auto batch = model.evaluate(sys, fp);
+  std::vector<double> temps;
+  state.temperatures(temps);
+  ASSERT_EQ(temps.size(), batch.chiplet_temp_c.size());
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    ASSERT_NEAR(temps[i], batch.chiplet_temp_c[i], 1e-9)
+        << context << ": chiplet " << i;
+  }
+  ASSERT_NEAR(state.max_temperature_c(), batch.max_temp_c, 1e-9) << context;
+}
+
+// The acceptance bar: >= 1000 random mutation sequences across all variants.
+TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
+  const auto vs = variants();
+  Rng rng(0xfeedULL);
+  int sequences = 0;
+  for (const Variant& v : vs) {
+    const FastThermalModel model = make_model(v.config, v.correction, v.droop);
+    for (int seq = 0; seq < 260; ++seq, ++sequences) {
+      const ChipletSystem sys = random_system(rng);
+      const std::size_t n = sys.num_chiplets();
+      IncrementalThermalState state(model, sys);
+      Floorplan fp(sys);             // mirrors the state's placement
+      Floorplan committed_fp(sys);   // snapshot at the last commit()
+      const int ops = 4 + static_cast<int>(rng.uniform_int(std::uint64_t{8}));
+      for (int op = 0; op < ops; ++op) {
+        const double u = rng.uniform();
+        const std::size_t die = rng.uniform_int(std::uint64_t{n});
+        if (u < 0.45) {  // place or move
+          const Placement p = random_placement(sys, die, rng);
+          state.place(die, p);
+          fp.place(die, p.position, p.rotated);
+        } else if (u < 0.65) {  // remove
+          state.remove(die);
+          fp.unplace(die);
+        } else if (u < 0.8) {  // undo to the last commit
+          state.undo();
+          fp = committed_fp;
+        } else {  // commit
+          state.commit();
+          committed_fp = fp;
+        }
+        ASSERT_NO_FATAL_FAILURE(
+            expect_state_matches_batch(state, model, sys, fp, v.name));
+      }
+    }
+  }
+  EXPECT_GE(sequences, 1000);
+}
+
+// Tight agreement on a hand-checkable case: the incremental query sums the
+// identical pairwise doubles the batch evaluator sums, in the same order.
+TEST(IncrementalThermal, ExactAgreementOnDenseSystem) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  Rng rng(7);
+  const ChipletSystem sys = random_system(rng, 6, 6);
+  Floorplan fp(sys);
+  IncrementalThermalState state(model, sys);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    const Placement p = random_placement(sys, i, rng);
+    state.place(i, p);
+    fp.place(i, p.position, p.rotated);
+  }
+  const auto batch = model.evaluate(sys, fp);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    EXPECT_NEAR(state.chiplet_temperature_c(i), batch.chiplet_temp_c[i],
+                1e-12);
+  }
+  EXPECT_NEAR(state.max_temperature_c(), batch.max_temp_c, 1e-12);
+}
+
+TEST(IncrementalThermal, RemoveAndUndoCostNoKernelWork) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  Rng rng(11);
+  const ChipletSystem sys = random_system(rng, 5, 5);
+  const std::size_t n = sys.num_chiplets();
+  IncrementalThermalState state(model, sys);
+  Floorplan fp(sys);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Placement p = random_placement(sys, i, rng);
+    state.place(i, p);
+    fp.place(i, p.position, p.rotated);
+  }
+  state.commit();
+
+  long before = state.pair_updates();
+  state.remove(2);
+  EXPECT_EQ(state.pair_updates(), before);  // remove: bookkeeping only
+  state.undo();  // snapshot restore: no kernel recomputation
+  EXPECT_EQ(state.pair_updates(), before);
+  expect_state_matches_batch(state, model, sys, fp, "undo-of-remove");
+
+  // A rejected SA displace: the move pays its 2*(n-1) directed pair
+  // updates, the rollback pays none.
+  state.place(2, random_placement(sys, 2, rng));
+  EXPECT_EQ(state.pair_updates(), before + 2 * static_cast<long>(n - 1));
+  before = state.pair_updates();
+  state.undo();
+  EXPECT_EQ(state.pair_updates(), before);
+  expect_state_matches_batch(state, model, sys, fp, "undo-of-move");
+}
+
+// Evaluator-level protocol, driven the way TAP-2.5D SA drives it: sync via
+// diff, then commit or rollback.
+TEST(IncrementalThermal, EvaluatorCommitRollbackMatchesBatch) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  IncrementalFastModelEvaluator eval(model);
+  FastModelEvaluator reference(model);
+  Rng rng(0xabcdULL);
+  const ChipletSystem sys = random_system(rng, 4, 7);
+  Floorplan current(sys);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    const Placement p = random_placement(sys, i, rng);
+    current.place(i, p.position, p.rotated);
+  }
+  ASSERT_NEAR(eval.incremental_max_temperature(sys, current),
+              reference.max_temperature(sys, current), 1e-9);
+  eval.commit();
+  for (int move = 0; move < 200; ++move) {
+    Floorplan cand = current;
+    const std::size_t die = rng.uniform_int(std::uint64_t{sys.num_chiplets()});
+    const Placement p = random_placement(sys, die, rng);
+    cand.place(die, p.position, p.rotated);
+    const double t_incr = eval.incremental_max_temperature(sys, cand);
+    ASSERT_NEAR(t_incr, reference.max_temperature(sys, cand), 1e-9)
+        << "move " << move;
+    if (rng.uniform() < 0.5) {
+      eval.commit();
+      current = cand;
+    } else {
+      eval.rollback();
+      // The next query must see the rolled-back state, not the candidate.
+      ASSERT_NEAR(eval.incremental_max_temperature(sys, current),
+                  reference.max_temperature(sys, current), 1e-9);
+      eval.commit();
+    }
+  }
+  EXPECT_GT(eval.incremental_queries(), 0);
+}
+
+// A fresh session on a different system must not read stale caches.
+TEST(IncrementalThermal, SessionRebindsAcrossSystems) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  IncrementalFastModelEvaluator eval(model);
+  FastModelEvaluator reference(model);
+  Rng rng(0x5151ULL);
+  for (int k = 0; k < 5; ++k) {
+    const ChipletSystem sys = random_system(rng);
+    Floorplan fp(sys);
+    for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+      const Placement p = random_placement(sys, i, rng);
+      fp.place(i, p.position, p.rotated);
+    }
+    ASSERT_NEAR(eval.incremental_max_temperature(sys, fp),
+                reference.max_temperature(sys, fp), 1e-9);
+  }
+}
+
+// End-to-end through the RL env: the per-step notify_place stream plus the
+// episode-end incremental query must equal a batch evaluator's reward.
+TEST(IncrementalThermal, EnvEpisodeMatchesBatchEvaluator) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  Rng rng(0x77ULL);
+  const ChipletSystem sys = random_system(rng, 4, 6);
+
+  rl::EnvConfig config;
+  config.grid = 16;
+  const auto run_episode = [&](ThermalEvaluator& eval) {
+    rl::FloorplanEnv env(sys, eval, RewardCalculator{}, bump::BumpAssigner{},
+                         config);
+    Rng action_rng(99);
+    env.reset();
+    while (!env.done()) {
+      const auto& mask = env.action_mask();
+      std::size_t action = action_rng.uniform_int(std::uint64_t{mask.size()});
+      while (mask[action] == 0) action = (action + 1) % mask.size();
+      env.step(action);
+    }
+    return env.last_metrics();
+  };
+
+  FastModelEvaluator batch(model);
+  IncrementalFastModelEvaluator incr(model);
+  const auto m_batch = run_episode(batch);
+  const auto m_incr = run_episode(incr);
+  ASSERT_TRUE(m_batch.valid);
+  ASSERT_TRUE(m_incr.valid);
+  EXPECT_NEAR(m_incr.temperature_c, m_batch.temperature_c, 1e-9);
+  EXPECT_NEAR(m_incr.reward, m_batch.reward, 1e-9);
+  EXPECT_GT(incr.incremental_queries(), 0);
+}
+
+TEST(IncrementalThermal, RejectsOversizedAndEmpty) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, false);
+  Rng rng(3);
+  const ChipletSystem sys = random_system(rng, 3, 3);
+  EXPECT_THROW(IncrementalThermalState(FastThermalModel{}, sys),
+               std::invalid_argument);
+  IncrementalThermalState state(model, sys);
+  EXPECT_THROW(state.place(99, Placement{}), std::out_of_range);
+  EXPECT_EQ(state.num_placed(), 0u);
+  EXPECT_NEAR(state.max_temperature_c(), model.ambient_c(), 1e-12);
+}
+
+}  // namespace
+}  // namespace rlplan::thermal

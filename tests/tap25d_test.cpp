@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "rl/planner.h"
 #include "thermal/evaluator.h"
+#include "thermal/incremental.h"
 
 namespace rlplan::sa {
 namespace {
@@ -145,6 +148,46 @@ TEST(Tap25d, EvaluatorInjectionIsObservable) {
   Tap25dPlanner planner(quick_config(7));
   planner.plan(sys, eval);
   EXPECT_GT(eval.num_evaluations(), 10);
+}
+
+TEST(Tap25d, IncrementalEvaluatorMatchesBatchTrajectory) {
+  // The incremental evaluator returns the exact batch temperatures, so the
+  // whole anneal — every Metropolis accept/reject, driven through the
+  // commit/rollback hooks — must follow the identical trajectory and land on
+  // the identical floorplan.
+  std::vector<double> dims{2.0, 6.0, 10.0};
+  std::vector<std::vector<double>> self_vals(3, std::vector<double>(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      self_vals[i][j] = 2.5 / (1.0 + 0.05 * dims[i] * dims[j]);
+    }
+  }
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 45.0; d += 1.5) {
+    distances.push_back(d);
+    mutual_vals.push_back(0.03 + 0.7 * std::exp(-d / 7.0));
+  }
+  thermal::FastThermalModel model(
+      thermal::SelfResistanceTable(dims, dims, self_vals),
+      thermal::MutualResistanceTable(distances, mutual_vals), 45.0, {});
+  model.set_image_params(30.0, 30.0, 0.03);
+
+  const auto sys = sa_system();
+  thermal::FastModelEvaluator batch(model);
+  thermal::IncrementalFastModelEvaluator incr(model);
+  Tap25dPlanner planner(quick_config(3));
+  const auto r_batch = planner.plan(sys, batch);
+  const auto r_incr = planner.plan(sys, incr);
+
+  EXPECT_EQ(r_batch.stats.accepted, r_incr.stats.accepted);
+  EXPECT_EQ(r_batch.stats.evaluations, r_incr.stats.evaluations);
+  EXPECT_NEAR(r_batch.temperature_c, r_incr.temperature_c, 1e-9);
+  EXPECT_NEAR(r_batch.reward, r_incr.reward, 1e-9);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    ASSERT_TRUE(r_incr.best.is_placed(i));
+    EXPECT_EQ(r_batch.best.placement(i), r_incr.best.placement(i))
+        << "chiplet " << i;
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <set>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "systems/synthetic.h"
 #include "thermal/characterize.h"
 #include "thermal/evaluator.h"
+#include "thermal/incremental.h"
 
 namespace rlplan::parallel {
 namespace {
@@ -142,6 +144,49 @@ TEST(VecEnv, ReplicasAreIndependent) {
   // Episode-end evaluations land on the replica's own evaluator clone.
   EXPECT_EQ(venv.evaluator(0).num_evaluations(), 0);
   EXPECT_EQ(proto.num_evaluations(), 0);
+}
+
+TEST(VecEnv, IncrementalEvaluatorClonesMatchBatchEvaluator) {
+  // Replica clones of an incremental evaluator must score episodes exactly
+  // like the batch fast-model evaluator: the pairwise coupling cache sums
+  // the same doubles a full evaluation would.
+  const auto sys = small_system();
+  std::vector<double> dims{2.0, 8.0, 14.0};
+  std::vector<std::vector<double>> self_vals(3, std::vector<double>(3, 0.0));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      self_vals[i][j] = 2.0 / (1.0 + 0.05 * dims[i] * dims[j]);
+    }
+  }
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 50.0; d += 2.0) {
+    distances.push_back(d);
+    mutual_vals.push_back(0.03 + 0.7 * std::exp(-d / 6.0));
+  }
+  thermal::FastThermalModel model(
+      thermal::SelfResistanceTable(dims, dims, self_vals),
+      thermal::MutualResistanceTable(distances, mutual_vals), 45.0, {});
+  model.set_image_params(32.0, 32.0, 0.03);
+
+  const auto episode_reward = [&](thermal::ThermalEvaluator& proto) {
+    VecEnv venv(sys, proto, RewardCalculator{}, bump::BumpAssigner{},
+                {.grid = 16}, 2, 13);
+    rl::FloorplanEnv& env = venv.env(1);
+    env.reset();
+    double reward = 0.0;
+    while (!env.done()) {
+      std::size_t action = 0;
+      while (env.action_mask()[action] == 0) ++action;
+      reward = env.step(action).reward;
+    }
+    return reward;
+  };
+
+  thermal::FastModelEvaluator batch_proto(model);
+  thermal::IncrementalFastModelEvaluator incr_proto(model);
+  const double batch_reward = episode_reward(batch_proto);
+  const double incr_reward = episode_reward(incr_proto);
+  EXPECT_NEAR(incr_reward, batch_reward, 1e-9);
 }
 
 // ------------------------------------------------------------ Collector ----
