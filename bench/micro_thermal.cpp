@@ -288,6 +288,20 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Throughput floor on the reward hot path (the CI bench-smoke gate). Set
+  // far below healthy numbers so it only trips on an order-of-magnitude
+  // regression, not on runner jitter.
+  const double floor =
+      rlplan::bench::flag_double(argc, argv, "min-evals-per-sec", 0.0);
+  for (const MoveRow& r : rows) {
+    if (floor > 0.0 && r.incr_evals_per_sec < floor) {
+      std::fprintf(stderr,
+                   "[micro_thermal] FAIL: %zu-chiplet incremental throughput "
+                   "%.1f evals/s below floor %.1f\n",
+                   r.chiplets, r.incr_evals_per_sec, floor);
+      return 1;
+    }
+  }
 
   if (smoke) return 0;  // tiny-count CI mode: skip the google-benchmark suite
   // Note: our own --moves/--json flags are left in argv; google-benchmark

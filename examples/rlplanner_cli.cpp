@@ -1,7 +1,7 @@
 // Command-line floorplanner: read a system file, optimize with a chosen
 // method, write the floorplan file, and print ground-truth scores.
 //
-//   ./build/examples/rlplanner_cli <system-file> [options]
+//   ./build/examples/rlplanner_cli <system-file | scenario.json> [options]
 //     --method=rl|rl-rnd|sa-fast|sa-solver|first-fit   (default rl)
 //     --epochs=N         RL training epochs            (default 30)
 //     --grid=G           RL action grid                (default 16)
@@ -27,6 +27,7 @@
 #include "rl/planner.h"
 #include "sa/tap25d.h"
 #include "systems/io.h"
+#include "systems/scenario.h"
 #include "thermal/characterize.h"
 #include "thermal/incremental.h"
 #include "util/timer.h"
@@ -62,10 +63,16 @@ std::string option(int argc, char** argv, const char* name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Load the problem.
+  // Load the problem: a line-oriented system file, or — when the path ends
+  // in .json — a scenario file (its builtin/family/inline system is built;
+  // budgets and envelopes are the regress tool's business, not the CLI's).
   ChipletSystem system = [&] {
     if (argc > 1 && argv[1][0] != '-') {
-      return systems::read_system_file(argv[1]);
+      const std::string path = argv[1];
+      if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
+        return systems::load_scenario_file(path).build_system();
+      }
+      return systems::read_system_file(path);
     }
     std::printf("no system file given; using the built-in demo system\n");
     std::istringstream demo(kDemoSystem);

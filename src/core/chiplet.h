@@ -27,6 +27,8 @@ struct Chiplet {
   double power_density() const {  ///< W/mm^2
     return area() > 0.0 ? power / area() : 0.0;
   }
+
+  bool operator==(const Chiplet& o) const = default;
 };
 
 /// Immutable problem instance: interposer + chiplets + netlist.
@@ -67,6 +69,10 @@ class ChipletSystem {
   /// Indices sorted by decreasing area — the canonical RL placement order
   /// (large chiplets first constrains the search usefully).
   std::vector<std::size_t> placement_order_by_area() const;
+
+  /// Exact member-wise equality (name, interposer, chiplets, nets) — the
+  /// serialization round-trip identity check.
+  bool operator==(const ChipletSystem& o) const = default;
 
  private:
   std::string name_;

@@ -42,6 +42,14 @@ struct Tap25dResult {
   AnnealStats stats{};
 
   explicit Tap25dResult(Floorplan fp) : best(std::move(fp)) {}
+
+  /// Cost-evaluation throughput of the anneal — the number the regression
+  /// suite's `min_sa_evals_per_sec` floors gate on.
+  double evaluations_per_second() const {
+    return stats.seconds > 0.0
+               ? static_cast<double>(stats.evaluations) / stats.seconds
+               : 0.0;
+  }
 };
 
 class Tap25dPlanner {

@@ -61,4 +61,76 @@ Floorplan random_legal_floorplan(const ChipletSystem& system, Rng& rng,
 /// The five Table III benchmark cases (fixed seeds, 40x40 mm interposer).
 std::vector<ChipletSystem> make_table3_cases();
 
+// ---------------------------------------------------------------------------
+// Parameterized generator families — the scenario subsystem's workload
+// vocabulary. Where SyntheticSystemGenerator draws everything uniformly at
+// random, a family pins the *structure* (netlist topology, power
+// distribution shape, die aspect regime) and randomizes only within it, so a
+// single family + seed names a reproducible stress case: die-count sweeps,
+// star/mesh/bipartite traffic patterns, skewed power maps, sliver-shaped
+// dies, thermally antagonistic hotspot pairs.
+
+/// Netlist shape of a family instance.
+enum class NetTopology {
+  kRandom,     ///< random spanning tree + extra edges (SyntheticConfig shape)
+  kStar,       ///< hub-and-spoke: every die links only to die 0 (the switch)
+  kChain,      ///< linear pipeline c0 - c1 - ... - c(n-1)
+  kRing,       ///< chain plus the closing c(n-1) - c0 link
+  kMesh,       ///< near-square grid, links between row/column neighbours
+  kBipartite,  ///< compute/memory halves, cross links only (CPU-DRAM shape)
+};
+
+/// Name <-> enum for serialization ("random", "star", ...). Parsing throws
+/// std::invalid_argument on unknown names.
+const char* to_string(NetTopology topology);
+NetTopology net_topology_from_string(const std::string& name);
+
+struct FamilyConfig {
+  std::size_t chiplets = 8;
+  double interposer_w_mm = 50.0;
+  double interposer_h_mm = 50.0;
+  /// Die linear scale s is drawn uniformly in [min_dim_mm, max_dim_mm]; the
+  /// footprint is then s*sqrt(a) x s/sqrt(a) for an aspect ratio a drawn
+  /// log-uniformly in [1/max_aspect, max_aspect]. max_aspect == 1 fixes
+  /// square dies; large values produce sliver extremes.
+  double min_dim_mm = 4.0;
+  double max_dim_mm = 12.0;
+  double max_aspect = 1.0;
+  /// Per-die power is min + (max - min) * u^(1 + power_skew), u ~ U[0, 1):
+  /// skew 0 is uniform; larger values concentrate the budget on a few hot
+  /// dies while most run cool (the skewed-power-map family).
+  double min_power_w = 5.0;
+  double max_power_w = 30.0;
+  double power_skew = 0.0;
+  NetTopology topology = NetTopology::kRandom;
+  int min_wires = 32;
+  int max_wires = 512;
+  /// kRandom: probability of each beyond-tree edge. kBipartite: probability
+  /// of each cross edge beyond the connectivity guarantee. Other topologies
+  /// ignore it.
+  double extra_net_prob = 0.35;
+  /// Thermally antagonistic pairs: the first 2*hotspot_pairs dies are forced
+  /// to hotspot_power_w and each pair is tied by a max_wires net, so the
+  /// wirelength term pulls together exactly the dies the thermal term must
+  /// keep apart.
+  std::size_t hotspot_pairs = 0;
+  double hotspot_power_w = 0.0;  ///< 0 = max_power_w
+  /// Redraw cap on total die area / interposer area (keeps instances
+  /// placeable).
+  double max_utilization = 0.5;
+
+  bool operator==(const FamilyConfig& o) const = default;
+};
+
+/// Range checks on a family config (also run by generate_family). Throws
+/// std::invalid_argument naming the problem.
+void validate_family_config(const FamilyConfig& config);
+
+/// Deterministic (same config + seed -> same system) family instance.
+/// Throws std::invalid_argument on malformed configs (chiplets < 2, bad
+/// ranges, hotspot pairs exceeding the die count, interposer too small for
+/// max_dim_mm at max_aspect).
+ChipletSystem generate_family(const FamilyConfig& config, std::uint64_t seed,
+                              const std::string& name = "");
+
 }  // namespace rlplan::systems

@@ -1,0 +1,126 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlplan::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25e2").as_number(), -325.0);
+  EXPECT_DOUBLE_EQ(parse_json("0.5").as_number(), 0.5);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const JsonValue v = parse_json(R"({
+    "name": "suite",
+    "counts": [1, 2, 3],
+    "nested": {"ok": true, "x": null}
+  })");
+  EXPECT_EQ(v.at("name").as_string(), "suite");
+  ASSERT_EQ(v.at("counts").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("counts").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.at("nested").at("ok").as_bool());
+  EXPECT_TRUE(v.at("nested").at("x").is_null());
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = parse_json(R"("a\"b\\c\n\tAé")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\tA\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("[1,]"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW(parse_json("{'a': 1}"), JsonError);
+  EXPECT_THROW(parse_json("tru"), JsonError);
+  EXPECT_THROW(parse_json("01"), JsonError);
+  EXPECT_THROW(parse_json("1.").is_number(), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("\"bad\\q\""), JsonError);
+  EXPECT_THROW(parse_json("{} trailing"), JsonError);
+  EXPECT_THROW(parse_json("1e999"), JsonError);  // overflows to inf
+}
+
+TEST(Json, DeepNestingIsAnErrorNotAStackOverflow) {
+  const std::string deep(100000, '[');
+  EXPECT_THROW(parse_json(deep), JsonError);
+  // 256 levels is within the documented limit... just.
+  std::string ok;
+  for (int i = 0; i < 255; ++i) ok += '[';
+  ok += "1";
+  for (int i = 0; i < 255; ++i) ok += ']';
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    parse_json("{\n  \"a\": 1,\n  oops\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = parse_json("{\"a\": 1}");
+  EXPECT_THROW(v.at("a").as_string(), JsonError);
+  EXPECT_THROW(v.at("a").as_array(), JsonError);
+  EXPECT_THROW(v.at("b"), JsonError);
+  EXPECT_THROW(parse_json("[]").at("a"), JsonError);
+}
+
+TEST(Json, ObjectHelpersAndDefaults) {
+  JsonValue v = JsonValue::make_object();
+  v.set("pi", 3.5).set("name", "x").set("flag", true);
+  v.set("pi", 4.5);  // replace, not duplicate
+  EXPECT_DOUBLE_EQ(v.number_or("pi", 0.0), 4.5);
+  EXPECT_DOUBLE_EQ(v.number_or("absent", 7.0), 7.0);
+  EXPECT_EQ(v.string_or("name", ""), "x");
+  EXPECT_EQ(v.string_or("absent", "d"), "d");
+  EXPECT_TRUE(v.bool_or("flag", false));
+  EXPECT_EQ(v.as_object().size(), 3u);
+}
+
+TEST(Json, RoundTripPreservesValueAndOrder) {
+  const std::string src = R"({"b": 1, "a": [true, null, "s", 2.5], "c": {}})";
+  const JsonValue v = parse_json(src);
+  const JsonValue again = parse_json(v.dump(2));
+  EXPECT_EQ(v, again);
+  // Member order is preserved through the round trip.
+  EXPECT_EQ(again.as_object()[0].first, "b");
+  EXPECT_EQ(again.as_object()[1].first, "a");
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(JsonValue(3.0).dump(), "3");
+  EXPECT_EQ(JsonValue(-17).dump(), "-17");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+  // Round-trip exactness for an awkward double.
+  const double x = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(parse_json(JsonValue(x).dump()).as_number(), x);
+}
+
+TEST(Json, CompactAndPrettyDump) {
+  const JsonValue v = parse_json(R"({"a": [1, 2]})");
+  EXPECT_EQ(v.dump(0), "{\"a\":[1,2]}");
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace rlplan::util

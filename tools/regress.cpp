@@ -1,0 +1,363 @@
+// Scenario regression harness — the CI quality/perf gate.
+//
+// Loads every scenario JSON in --suite, fans the scenarios out over the
+// shared thread pool (src/parallel), runs the budgeted optimizers on each
+// (TAP-2.5D SA on the incremental fast model; short-budget RLPlanner), scores
+// both results with the ground-truth grid solver, and checks each leg
+// against the scenario's golden envelope: peak-temperature and wirelength
+// ceilings, legality, and optimizer-throughput floors. Results land in one
+// machine-readable JSON report; the exit code is non-zero when any scenario
+// leaves its envelope, so CI can gate on this binary directly.
+//
+// Fast models are characterized once per distinct (interposer, ambient)
+// footprint and shared across scenarios — the Table II workflow — at a
+// deliberately coarse resolution: the harness guards against *regressions*,
+// so consistency run-to-run matters, sub-Kelvin absolute accuracy does not.
+//
+//   regress --suite=scenarios/ --json=BENCH_regress.json
+//           [--threads=N]      worker threads (default: hardware)
+//           [--filter=substr]  only scenarios whose name contains substr
+//           [--perf-scale=X]   scale throughput floors (0 disables; use on
+//                              sanitizer/debug builds where wall time is
+//                              meaningless)
+//           [--list]           print the suite and exit
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bump/assigner.h"
+#include "core/reward.h"
+#include "parallel/thread_pool.h"
+#include "rl/planner.h"
+#include "sa/tap25d.h"
+#include "systems/scenario.h"
+#include "thermal/characterize.h"
+#include "thermal/evaluator.h"
+#include "thermal/grid_solver.h"
+#include "thermal/incremental.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rlplan;
+using systems::Scenario;
+
+constexpr thermal::GridDims kTruthDims{32, 32};
+
+/// One optimizer leg's scored outcome.
+struct LegResult {
+  bool ran = false;
+  bool legal = false;
+  double temp_c = 0.0;          ///< ground-truth peak temperature
+  double wirelength_mm = 0.0;   ///< microbump wirelength
+  double reward = 0.0;
+  double throughput = 0.0;      ///< SA: evals/s, RL: env steps/s
+  long work = 0;                ///< SA: evaluations, RL: env steps
+  double seconds = 0.0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t chiplets = 0;
+  LegResult sa;
+  LegResult rl;
+  std::vector<std::string> failures;  ///< empty = within envelope
+  std::string error;                  ///< non-empty = scenario crashed
+};
+
+/// Characterized fast models, shared by footprint across scenarios. The map
+/// mutex is held only for entry lookup; characterization itself runs under a
+/// per-footprint once_flag, so distinct footprints characterize concurrently
+/// and only same-footprint requests wait (std::map nodes are
+/// address-stable, which makes the returned references safe).
+class ModelCache {
+ public:
+  explicit ModelCache(const thermal::LayerStack& stack) : stack_(stack) {}
+
+  const thermal::FastThermalModel& get(double w, double h) {
+    Entry* entry;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entry = &models_[std::make_pair(w, h)];
+    }
+    std::call_once(entry->once, [&] {
+      thermal::CharacterizationConfig cc;
+      cc.solver.dims = {24, 24};
+      cc.auto_axis_points = 5;
+      cc.position_points = 5;
+      thermal::ThermalCharacterizer charac(stack_, cc);
+      entry->model.emplace(charac.characterize(w, h));
+      std::fprintf(stderr, "[regress] characterized %.0fx%.0f mm (%.1f s)\n",
+                   w, h, charac.report().total_seconds);
+    });
+    return *entry->model;
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::optional<thermal::FastThermalModel> model;
+  };
+
+  const thermal::LayerStack& stack_;
+  std::mutex mutex_;
+  std::map<std::pair<double, double>, Entry> models_;
+};
+
+LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
+                     const thermal::FastThermalModel& model,
+                     const thermal::LayerStack& stack) {
+  sa::Tap25dConfig tc;
+  tc.anneal.max_evaluations = scenario.budget.sa_evaluations;
+  tc.anneal.moves_per_temperature = scenario.budget.sa_moves_per_temperature;
+  tc.anneal.cooling = scenario.budget.sa_cooling;
+  tc.anneal.t_final = 1e-5;
+  tc.seed = scenario.seed;
+  sa::Tap25dPlanner planner(tc);
+  thermal::IncrementalFastModelEvaluator evaluator(model);
+  const RewardCalculator rc;
+  const bump::BumpAssigner assigner;
+
+  const Timer timer;
+  const sa::Tap25dResult result = planner.plan(system, evaluator, rc,
+                                               assigner);
+  LegResult leg;
+  leg.ran = true;
+  leg.seconds = timer.seconds();
+  leg.legal = result.best.is_complete() && result.best.is_legal();
+  leg.work = result.stats.evaluations;
+  leg.throughput = result.evaluations_per_second();
+  leg.wirelength_mm = assigner.assign(system, result.best).total_mm;
+  thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
+  leg.temp_c = truth.solve(system, result.best).max_temp_c;
+  leg.reward = rc.reward(leg.wirelength_mm, leg.temp_c);
+  return leg;
+}
+
+LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
+                     const thermal::FastThermalModel& model,
+                     const thermal::LayerStack& stack) {
+  rl::RlPlannerConfig pc;
+  pc.env.grid = scenario.budget.rl_grid;
+  pc.net.grid = scenario.budget.rl_grid;
+  pc.epochs = scenario.budget.rl_epochs;
+  pc.ppo.episodes_per_update = scenario.budget.rl_episodes_per_update;
+  pc.solver.dims = kTruthDims;
+  pc.seed = scenario.seed;
+  rl::RlPlanner planner(pc);
+
+  const rl::PlannerResult result =
+      planner.plan_with_model(system, stack, model);
+  LegResult leg;
+  leg.ran = true;
+  leg.seconds = result.train_s;
+  leg.work = result.env_steps;
+  leg.throughput = result.steps_per_second();
+  if (result.best.has_value()) {
+    leg.legal = result.best->is_complete() && result.best->is_legal();
+    leg.wirelength_mm = result.final_wirelength_mm;
+    leg.temp_c = result.final_temperature_c;  // ground-truth scored inside
+    leg.reward = result.final_reward;
+  }
+  return leg;
+}
+
+void check_leg(const char* tag, const LegResult& leg,
+               const systems::ScenarioEnvelope& envelope, double floor_hz,
+               double perf_scale, std::vector<std::string>& failures) {
+  char buf[256];
+  if (!leg.legal) {
+    std::snprintf(buf, sizeof(buf), "%s: result is not a complete legal "
+                  "floorplan", tag);
+    failures.emplace_back(buf);
+    return;
+  }
+  if (leg.temp_c > envelope.max_temp_c) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: peak temperature %.2f C exceeds envelope %.2f C", tag,
+                  leg.temp_c, envelope.max_temp_c);
+    failures.emplace_back(buf);
+  }
+  if (leg.wirelength_mm > envelope.max_wirelength_mm) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: wirelength %.0f mm exceeds envelope %.0f mm", tag,
+                  leg.wirelength_mm, envelope.max_wirelength_mm);
+    failures.emplace_back(buf);
+  }
+  const double floor = floor_hz * perf_scale;
+  if (floor > 0.0 && leg.throughput < floor) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: throughput %.1f/s below floor %.1f/s", tag,
+                  leg.throughput, floor);
+    failures.emplace_back(buf);
+  }
+}
+
+ScenarioResult run_scenario(const Scenario& scenario, ModelCache& models,
+                            const thermal::LayerStack& stack,
+                            double perf_scale) {
+  ScenarioResult r;
+  r.name = scenario.name;
+  try {
+    const ChipletSystem system = scenario.build_system();
+    r.chiplets = system.num_chiplets();
+    const thermal::FastThermalModel& model = models.get(
+        system.interposer_width(), system.interposer_height());
+    if (scenario.budget.run_sa) {
+      r.sa = run_sa_leg(scenario, system, model, stack);
+      check_leg("sa", r.sa, scenario.envelope,
+                scenario.envelope.min_sa_evals_per_sec, perf_scale,
+                r.failures);
+    }
+    if (scenario.budget.run_rl) {
+      r.rl = run_rl_leg(scenario, system, model, stack);
+      check_leg("rl", r.rl, scenario.envelope,
+                scenario.envelope.min_rl_steps_per_sec, perf_scale,
+                r.failures);
+    }
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+util::JsonValue leg_to_json(const LegResult& leg) {
+  util::JsonValue j = util::JsonValue::make_object();
+  j.set("legal", leg.legal);
+  j.set("temp_c", leg.temp_c);
+  j.set("wirelength_mm", leg.wirelength_mm);
+  j.set("reward", leg.reward);
+  j.set("work", leg.work);
+  j.set("per_sec", leg.throughput);
+  j.set("seconds", leg.seconds);
+  return j;
+}
+
+util::JsonValue report_to_json(const std::string& suite,
+                               const std::vector<ScenarioResult>& results,
+                               double perf_scale, std::size_t threads) {
+  util::JsonValue j = util::JsonValue::make_object();
+  j.set("bench", "scenario_regress");
+  j.set("suite", suite);
+  j.set("perf_scale", perf_scale);
+  j.set("threads", threads);
+  util::JsonValue rows = util::JsonValue::make_array();
+  std::size_t failed = 0;
+  for (const ScenarioResult& r : results) {
+    util::JsonValue row = util::JsonValue::make_object();
+    row.set("name", r.name);
+    row.set("chiplets", r.chiplets);
+    const bool pass = r.error.empty() && r.failures.empty();
+    row.set("pass", pass);
+    if (!pass) ++failed;
+    if (!r.error.empty()) row.set("error", r.error);
+    util::JsonValue failures = util::JsonValue::make_array();
+    for (const std::string& f : r.failures) failures.push_back(f);
+    row.set("failures", std::move(failures));
+    if (r.sa.ran) row.set("sa", leg_to_json(r.sa));
+    if (r.rl.ran) row.set("rl", leg_to_json(r.rl));
+    rows.push_back(std::move(row));
+  }
+  j.set("scenarios", std::move(rows));
+  j.set("passed", results.size() - failed);
+  j.set("failed", failed);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string suite_dir =
+      bench::flag_str(argc, argv, "suite", "scenarios/");
+  const std::string json_path =
+      bench::flag_str(argc, argv, "json", "BENCH_regress.json");
+  const std::string filter = bench::flag_str(argc, argv, "filter", "");
+  const double perf_scale =
+      bench::flag_double(argc, argv, "perf-scale", 1.0);
+  auto threads = static_cast<std::size_t>(bench::flag_int(
+      argc, argv, "threads",
+      static_cast<long>(parallel::ThreadPool::hardware_threads())));
+
+  std::vector<Scenario> suite;
+  try {
+    suite = systems::load_scenario_suite(suite_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[regress] %s\n", e.what());
+    return 2;
+  }
+  if (!filter.empty()) {
+    std::erase_if(suite, [&](const Scenario& s) {
+      return s.name.find(filter) == std::string::npos;
+    });
+  }
+  if (bench::flag_present(argc, argv, "list")) {
+    for (const Scenario& s : suite) {
+      std::printf("%-24s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+  if (suite.empty()) {
+    std::fprintf(stderr, "[regress] no scenarios in %s match\n",
+                 suite_dir.c_str());
+    return 2;
+  }
+
+  const thermal::LayerStack stack = thermal::LayerStack::default_2p5d();
+  ModelCache models(stack);
+  std::vector<ScenarioResult> results(suite.size());
+
+  const Timer timer;
+  // The caller thread participates in parallel_for, so a pool of size 0
+  // still provides one execution lane.
+  const std::size_t lanes = std::max<std::size_t>(
+      1, std::min(threads, suite.size()));
+  parallel::ThreadPool pool(lanes);
+  pool.parallel_for(suite.size(), [&](std::size_t i) {
+    results[i] = run_scenario(suite[i], models, stack, perf_scale);
+    const ScenarioResult& r = results[i];
+    std::fprintf(stderr, "[regress] %-24s %s\n", r.name.c_str(),
+                 r.error.empty() && r.failures.empty() ? "ok" : "FAIL");
+  });
+  const double total_s = timer.seconds();
+
+  std::printf("\n%-24s %8s %5s %9s %11s %11s %9s\n", "Scenario", "chiplets",
+              "leg", "temp(C)", "WL(mm)", "thru(/s)", "status");
+  std::size_t failed = 0;
+  for (const ScenarioResult& r : results) {
+    const bool pass = r.error.empty() && r.failures.empty();
+    if (!pass) ++failed;
+    const auto print_leg = [&](const char* tag, const LegResult& leg) {
+      if (!leg.ran) return;
+      std::printf("%-24s %8zu %5s %9.2f %11.0f %11.1f %9s\n", r.name.c_str(),
+                  r.chiplets, tag, leg.temp_c, leg.wirelength_mm,
+                  leg.throughput, pass ? "ok" : "FAIL");
+    };
+    print_leg("sa", r.sa);
+    print_leg("rl", r.rl);
+    if (!r.error.empty()) {
+      std::printf("%-24s error: %s\n", r.name.c_str(), r.error.c_str());
+    }
+    for (const std::string& f : r.failures) {
+      std::printf("%-24s breach: %s\n", r.name.c_str(), f.c_str());
+    }
+  }
+  std::printf("\n[regress] %zu/%zu scenarios within envelopes (%.1f s)\n",
+              results.size() - failed, results.size(), total_s);
+
+  try {
+    util::write_json_file(json_path,
+                          report_to_json(suite_dir, results, perf_scale,
+                                         lanes));
+    std::fprintf(stderr, "[regress] wrote %s\n", json_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[regress] %s\n", e.what());
+    return 2;
+  }
+  return failed == 0 ? 0 : 1;
+}
