@@ -1,13 +1,18 @@
 // Micro-benchmarks of the thermal substrate.
 //
-// Two parts:
+// Three parts:
 //  1. A hand-rolled incremental-vs-batch comparison of single-die moves on
 //     the fast model at 4/8/16/32 chiplets (the reward hot path both
 //     optimizers sit on), printed as a table and emitted as machine-readable
 //     BENCH_thermal.json so later PRs can track the perf trajectory.
 //     Flags: --moves=N, --json=PATH, --smoke (tiny move counts, skip the
 //     google-benchmark suite — the CI smoke step uses this).
-//  2. The google-benchmark suite covering the cost model behind Table II's
+//  2. A whole-floorplan batch comparison: K candidate floorplans scored with
+//     one FastThermalModel::evaluate_batch() call (the SoA kernel, fanned
+//     over a ThreadPool when --batch-threads > 1) versus K repeated single
+//     evaluate() calls. Flags: --batch=K (64), --batch-repeats=N,
+//     --batch-threads=N (default: hardware), --min-batch-speedup=X (gate).
+//  3. The google-benchmark suite covering the cost model behind Table II's
 //     speed column: full grid solves at several resolutions, matrix assembly
 //     alone, fast-model evaluation, and microbump assignment.
 #include <benchmark/benchmark.h>
@@ -15,15 +20,18 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "bump/assigner.h"
+#include "parallel/thread_pool.h"
 #include "systems/synthetic.h"
 #include "systems/systems.h"
 #include "thermal/characterize.h"
 #include "thermal/grid_solver.h"
 #include "thermal/incremental.h"
+#include "thermal/soa_snapshot.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -228,8 +236,80 @@ MoveRow run_move_comparison(const thermal::FastThermalModel& model,
   return row;
 }
 
+// ---------------------------------------------------- batch vs single ----
+
+struct BatchRow {
+  std::size_t chiplets = 0;
+  std::size_t batch = 0;
+  double single_evals_per_sec = 0.0;
+  double batch_evals_per_sec = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff_c = 0.0;
+};
+
+/// K random legal candidate floorplans scored via repeated evaluate() versus
+/// one evaluate_batch() call per repeat — the SA-population / PPO-batch
+/// query shape. Also cross-checks the SoA results against the scalar path
+/// (documented tolerance: 1e-9 C).
+BatchRow run_batch_comparison(const thermal::FastThermalModel& model,
+                              std::size_t n, std::size_t batch, long repeats,
+                              std::size_t threads) {
+  systems::SyntheticConfig sc;
+  sc.min_chiplets = n;
+  sc.max_chiplets = n;
+  sc.interposer_w_mm = kBenchInterposer;
+  sc.interposer_h_mm = kBenchInterposer;
+  sc.max_utilization = 0.45;
+  const ChipletSystem sys =
+      systems::SyntheticSystemGenerator(sc).generate(4321 + n, "bench-batch");
+  Rng rng(55 + n);
+  std::vector<Floorplan> candidates;
+  candidates.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    candidates.push_back(systems::random_legal_floorplan(sys, rng));
+  }
+
+  BatchRow row;
+  row.chiplets = n;
+  row.batch = batch;
+
+  std::vector<double> single_temps(batch);
+  {
+    const Timer timer;
+    for (long r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        single_temps[i] = model.evaluate(sys, candidates[i]).max_temp_c;
+      }
+    }
+    row.single_evals_per_sec =
+        static_cast<double>(repeats * static_cast<long>(batch)) /
+        timer.seconds();
+  }
+  {
+    parallel::ThreadPool pool(threads);
+    parallel::ThreadPool* pool_ptr = pool.size() > 0 ? &pool : nullptr;
+    std::vector<thermal::FastThermalResult> results;
+    const Timer timer;
+    for (long r = 0; r < repeats; ++r) {
+      results = model.evaluate_batch(
+          sys, std::span<const Floorplan>(candidates), pool_ptr);
+    }
+    row.batch_evals_per_sec =
+        static_cast<double>(repeats * static_cast<long>(batch)) /
+        timer.seconds();
+    for (std::size_t i = 0; i < batch; ++i) {
+      row.max_abs_diff_c =
+          std::max(row.max_abs_diff_c,
+                   std::abs(results[i].max_temp_c - single_temps[i]));
+    }
+  }
+  row.speedup = row.batch_evals_per_sec / row.single_evals_per_sec;
+  return row;
+}
+
 void write_json(const std::string& path, const std::vector<MoveRow>& rows,
-                long moves, bool smoke) {
+                const std::vector<BatchRow>& batch_rows, long moves,
+                std::size_t batch_threads, bool smoke) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "[micro_thermal] cannot write %s\n", path.c_str());
@@ -237,6 +317,7 @@ void write_json(const std::string& path, const std::vector<MoveRow>& rows,
   }
   os << "{\n  \"bench\": \"micro_thermal_incremental\",\n"
      << "  \"moves_per_size\": " << moves << ",\n"
+     << "  \"batch_threads\": " << batch_threads << ",\n"
      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -251,6 +332,20 @@ void write_json(const std::string& path, const std::vector<MoveRow>& rows,
                   i + 1 < rows.size() ? "," : "");
     os << buf;
   }
+  os << "  ],\n  \"batch_results\": [\n";
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& r = batch_rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"chiplets\": %zu, \"batch_size\": %zu, "
+                  "\"single_evals_per_sec\": %.1f, "
+                  "\"batch_evals_per_sec\": %.1f, \"speedup\": %.2f, "
+                  "\"max_abs_diff_c\": %.3e}%s\n",
+                  r.chiplets, r.batch, r.single_evals_per_sec,
+                  r.batch_evals_per_sec, r.speedup, r.max_abs_diff_c,
+                  i + 1 < batch_rows.size() ? "," : "");
+    os << buf;
+  }
   os << "  ]\n}\n";
   std::fprintf(stderr, "[micro_thermal] wrote %s\n", path.c_str());
 }
@@ -263,6 +358,13 @@ int main(int argc, char** argv) {
       rlplan::bench::flag_int(argc, argv, "moves", smoke ? 32 : 2000);
   const std::string json_path = rlplan::bench::flag_str(
       argc, argv, "json", "BENCH_thermal.json");
+  const auto batch = static_cast<std::size_t>(
+      rlplan::bench::flag_int(argc, argv, "batch", 64));
+  const long batch_repeats = rlplan::bench::flag_int(
+      argc, argv, "batch-repeats", smoke ? 3 : 30);
+  const auto batch_threads = static_cast<std::size_t>(rlplan::bench::flag_int(
+      argc, argv, "batch-threads",
+      static_cast<long>(parallel::ThreadPool::hardware_threads())));
 
   const thermal::FastThermalModel model = synthetic_model();
   std::printf("single-die moves, incremental vs batch (default config, %ld "
@@ -278,7 +380,23 @@ int main(int argc, char** argv) {
                 r.batch_evals_per_sec, r.incr_evals_per_sec, r.speedup,
                 r.max_abs_diff_c);
   }
-  write_json(json_path, rows, moves, smoke);
+
+  std::printf("\nwhole-floorplan candidates, evaluate_batch (SoA kernel, %zu "
+              "threads) vs repeated evaluate() (batch %zu, %ld repeats)\n",
+              batch_threads, batch, batch_repeats);
+  std::printf("%9s %7s %18s %18s %9s %14s\n", "chiplets", "batch",
+              "single evals/s", "batch evals/s", "speedup", "max |diff| C");
+  std::vector<BatchRow> batch_rows;
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    batch_rows.push_back(
+        run_batch_comparison(model, n, batch, batch_repeats, batch_threads));
+    const BatchRow& r = batch_rows.back();
+    std::printf("%9zu %7zu %18.1f %18.1f %8.2fx %14.3e\n", r.chiplets,
+                r.batch, r.single_evals_per_sec, r.batch_evals_per_sec,
+                r.speedup, r.max_abs_diff_c);
+  }
+
+  write_json(json_path, rows, batch_rows, moves, batch_threads, smoke);
   for (const MoveRow& r : rows) {
     if (r.max_abs_diff_c > 1e-9) {
       std::fprintf(stderr,
@@ -287,6 +405,29 @@ int main(int argc, char** argv) {
                    r.chiplets, r.max_abs_diff_c);
       return 1;
     }
+  }
+  for (const BatchRow& r : batch_rows) {
+    // The SoA kernel's documented equivalence bar (soa_snapshot.h).
+    if (r.max_abs_diff_c > 1e-9) {
+      std::fprintf(stderr,
+                   "[micro_thermal] FAIL: SoA batch diverged from single "
+                   "evaluate (%zu chiplets, %.3e C)\n",
+                   r.chiplets, r.max_abs_diff_c);
+      return 1;
+    }
+  }
+  // Batch-throughput floor (the CI bench gate): applied at the largest size,
+  // where the kernel matters most.
+  const double min_batch_speedup =
+      rlplan::bench::flag_double(argc, argv, "min-batch-speedup", 0.0);
+  if (min_batch_speedup > 0.0 && !batch_rows.empty() &&
+      batch_rows.back().speedup < min_batch_speedup) {
+    std::fprintf(stderr,
+                 "[micro_thermal] FAIL: batch speedup %.2fx at %zu chiplets "
+                 "below floor %.2fx\n",
+                 batch_rows.back().speedup, batch_rows.back().chiplets,
+                 min_batch_speedup);
+    return 1;
   }
   // Throughput floor on the reward hot path (the CI bench-smoke gate). Set
   // far below healthy numbers so it only trips on an order-of-magnitude

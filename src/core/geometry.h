@@ -55,9 +55,12 @@ struct Rect {
   }
 
   /// Strict interior overlap: rectangles that merely share an edge or corner
-  /// do NOT overlap (abutting chiplets are legal).
+  /// do NOT overlap (abutting chiplets are legal), and zero-area rectangles
+  /// have no interior, so they never overlap anything — overlaps(o) is true
+  /// exactly when intersection_area(o) > 0.
   bool overlaps(const Rect& o) const {
-    return x < o.right() && o.x < right() && y < o.top() && o.y < top();
+    return std::min(right(), o.right()) > std::max(x, o.x) &&
+           std::min(top(), o.top()) > std::max(y, o.y);
   }
 
   /// Area of the intersection (0 when disjoint or merely touching).

@@ -9,7 +9,10 @@ VecEnv::VecEnv(const ChipletSystem& system,
                RewardCalculator reward_calc, bump::BumpAssigner assigner,
                rl::EnvConfig env_config, std::size_t num_envs,
                std::uint64_t seed)
-    : seed_(seed) {
+    : seed_(seed),
+      system_(&system),
+      reward_calc_(reward_calc),
+      assigner_(assigner) {
   // The upper bound catches size_t underflow from negative inputs before it
   // reaches vector::reserve as an opaque length_error.
   if (num_envs == 0 || num_envs > kMaxEnvs) {
@@ -36,6 +39,49 @@ long VecEnv::total_evaluations() const {
   long total = 0;
   for (const auto& e : evaluators_) total += e->num_evaluations();
   return total;
+}
+
+std::vector<rl::EpisodeMetrics> VecEnv::score_floorplans(
+    std::span<const Floorplan> floorplans, ThreadPool* pool) {
+  for (const Floorplan& fp : floorplans) {
+    if (!fp.is_complete()) {
+      throw std::logic_error("VecEnv::score_floorplans: incomplete floorplan");
+    }
+  }
+  const auto temps =
+      evaluators_.front()->max_temperature_batch(*system_, floorplans, pool);
+  std::vector<rl::EpisodeMetrics> metrics(floorplans.size());
+  for (std::size_t i = 0; i < floorplans.size(); ++i) {
+    rl::EpisodeMetrics& m = metrics[i];
+    m.valid = true;
+    m.wirelength_mm = assigner_.assign(*system_, floorplans[i]).total_mm;
+    m.temperature_c = temps[i];
+    m.reward = reward_calc_.reward(m.wirelength_mm, m.temperature_c);
+  }
+  return metrics;
+}
+
+std::vector<rl::EpisodeMetrics> VecEnv::score_replicas(ThreadPool* pool) {
+  // Gather the complete floorplans, batch-score them once, then scatter the
+  // metrics back to their replica slots.
+  std::vector<Floorplan> complete;
+  std::vector<std::size_t> owner;
+  complete.reserve(envs_.size());
+  owner.reserve(envs_.size());
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    if (envs_[i]->floorplan().is_complete()) {
+      complete.push_back(envs_[i]->floorplan());
+      owner.push_back(i);
+    }
+  }
+  std::vector<rl::EpisodeMetrics> metrics(envs_.size());
+  if (complete.empty()) return metrics;
+  const auto scored =
+      score_floorplans(std::span<const Floorplan>(complete), pool);
+  for (std::size_t k = 0; k < owner.size(); ++k) {
+    metrics[owner[k]] = scored[k];
+  }
+  return metrics;
 }
 
 std::uint64_t VecEnv::derive_seed(std::uint64_t base, std::size_t index) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bump/assigner.h"
@@ -29,6 +30,8 @@
 #include "util/rng.h"
 
 namespace rlplan::parallel {
+
+class ThreadPool;
 
 class VecEnv {
  public:
@@ -62,6 +65,22 @@ class VecEnv {
   /// Sum of thermal evaluations across all replica evaluators.
   long total_evaluations() const;
 
+  /// Scores complete candidate floorplans with the replicas' shared reward
+  /// pipeline — microbump wirelength, reward weights — and ONE batched
+  /// thermal call (replica 0's evaluator; the SoA batch kernel for
+  /// fast-model evaluators, optionally fanned over `pool`). Per-candidate
+  /// metrics equal env(i).evaluate_floorplan(fp) for any replica i. Throws
+  /// std::logic_error on an incomplete floorplan.
+  std::vector<rl::EpisodeMetrics> score_floorplans(
+      std::span<const Floorplan> floorplans, ThreadPool* pool = nullptr);
+
+  /// Terminal metrics of every replica's CURRENT floorplan through one
+  /// batched thermal call — the batched analogue of reading
+  /// env(i).last_metrics() after each episode. Replicas whose floorplan is
+  /// incomplete (mid-episode or dead-ended) get a default-constructed entry
+  /// (valid == false).
+  std::vector<rl::EpisodeMetrics> score_replicas(ThreadPool* pool = nullptr);
+
   /// Seed of replica i: the (i+1)-th output of a SplitMix64 stream over the
   /// base seed. Stable across releases — the determinism tests and any
   /// recorded trajectories depend on it.
@@ -69,6 +88,9 @@ class VecEnv {
 
  private:
   std::uint64_t seed_;
+  const ChipletSystem* system_ = nullptr;
+  RewardCalculator reward_calc_;
+  bump::BumpAssigner assigner_;
   std::vector<std::unique_ptr<thermal::ThermalEvaluator>> evaluators_;
   std::vector<std::unique_ptr<rl::FloorplanEnv>> envs_;
   std::vector<Rng> rngs_;

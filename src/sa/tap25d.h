@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 
 #include "bump/assigner.h"
 #include "core/chiplet.h"
@@ -32,6 +34,19 @@ struct Tap25dConfig {
   double displace_frac_final = 0.02;
   double spacing_mm = 0.0;
   std::uint64_t seed = 1;
+  /// Candidates proposed and scored per Metropolis round. 1 (default) is the
+  /// classic single-proposal anneal driven through the incremental thermal
+  /// protocol. K > 1 switches to population mode: each round draws up to K
+  /// legal perturbations of the current state, scores all of them through
+  /// ONE ThermalEvaluator::max_temperature_batch() call (the SoA batch
+  /// kernel on fast-model evaluators), and applies Metropolis acceptance to
+  /// the best candidate. Each scored candidate counts against
+  /// anneal.max_evaluations.
+  std::size_t population = 1;
+  /// Worker threads for the batched thermal scoring when population > 1
+  /// (0 = score the batch on the calling thread). Results are identical for
+  /// every thread count.
+  std::size_t batch_threads = 0;
 };
 
 struct Tap25dResult {
@@ -60,12 +75,24 @@ class Tap25dPlanner {
 
   /// Anneals from a first-fit initial placement. `evaluator` supplies the
   /// thermal term; wall/evaluation budgets come from config().anneal.
+  /// config().population selects between the classic single-proposal anneal
+  /// (1, driven through the incremental thermal protocol) and the
+  /// batch-scored population mode (> 1).
   Tap25dResult plan(const ChipletSystem& system,
                     thermal::ThermalEvaluator& evaluator,
                     RewardCalculator reward_calc = RewardCalculator{},
                     bump::BumpAssigner assigner = bump::BumpAssigner{});
 
  private:
+  /// Population-mode anneal: K proposals per Metropolis round, scored with
+  /// one ThermalEvaluator::max_temperature_batch() call per round.
+  Floorplan anneal_population(
+      const ChipletSystem& system, thermal::ThermalEvaluator& evaluator,
+      const RewardCalculator& reward_calc, const bump::BumpAssigner& assigner,
+      Floorplan initial,
+      std::function<std::optional<Floorplan>(const Floorplan&, Rng&)> propose,
+      Rng& rng, AnnealStats& stats) const;
+
   Tap25dConfig config_;
 };
 

@@ -44,13 +44,17 @@ long checked_count(const util::JsonValue& obj, const std::string& key,
                    long fallback, const std::string& where, long lo = 0,
                    long hi = kMaxCount) {
   const double v = obj.number_or(key, static_cast<double>(fallback));
+  // Range-check in the double domain BEFORE casting: double -> long on an
+  // out-of-range value (e.g. "seed": 1e300) is undefined behaviour and
+  // aborts the UBSan CI leg instead of raising the schema error. The
+  // negated comparison also rejects NaN.
+  if (!(v >= static_cast<double>(lo) && v <= static_cast<double>(hi))) {
+    fail(where + "." + key + " must be in [" + std::to_string(lo) + ", " +
+         std::to_string(hi) + "]");
+  }
   const long n = static_cast<long>(v);
   if (static_cast<double>(n) != v) {
     fail(where + "." + key + " must be an integer");
-  }
-  if (n < lo || n > hi) {
-    fail(where + "." + key + " must be in [" + std::to_string(lo) + ", " +
-         std::to_string(hi) + "]");
   }
   return n;
 }

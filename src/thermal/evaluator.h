@@ -7,12 +7,18 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/chiplet.h"
 #include "core/floorplan.h"
 #include "thermal/fast_model.h"
 #include "thermal/grid_solver.h"
+
+namespace rlplan::parallel {
+class ThreadPool;
+}
 
 namespace rlplan::thermal {
 
@@ -23,6 +29,26 @@ class ThermalEvaluator {
   /// Peak chiplet temperature (deg C) of the placement.
   virtual double max_temperature(const ChipletSystem& system,
                                  const Floorplan& floorplan) = 0;
+
+  /// Peak temperatures of many candidate floorplans (all over `system`) in
+  /// one call, index-aligned with `floorplans`. The default scores each
+  /// candidate with max_temperature() serially and ignores `pool` (results
+  /// exactly equal the per-candidate calls); fast-model evaluators override
+  /// with the batched SoA kernel (thermal/soa_snapshot.h) fanned over the
+  /// pool, which agrees with per-candidate max_temperature() to within
+  /// 1e-9 C (soa_snapshot.h documents the contract) — never compare the two
+  /// query styles with exact equality.
+  virtual std::vector<double> max_temperature_batch(
+      const ChipletSystem& system, std::span<const Floorplan> floorplans,
+      parallel::ThreadPool* pool = nullptr) {
+    (void)pool;
+    std::vector<double> out;
+    out.reserve(floorplans.size());
+    for (const Floorplan& fp : floorplans) {
+      out.push_back(max_temperature(system, fp));
+    }
+    return out;
+  }
 
   /// Evaluations performed so far (budget accounting in benches).
   virtual long num_evaluations() const = 0;
@@ -120,6 +146,16 @@ class FastModelEvaluator final : public ThermalEvaluator {
                          const Floorplan& floorplan) override {
     ++count_;
     return model_.evaluate(system, floorplan).max_temp_c;
+  }
+  std::vector<double> max_temperature_batch(
+      const ChipletSystem& system, std::span<const Floorplan> floorplans,
+      parallel::ThreadPool* pool = nullptr) override {
+    count_ += static_cast<long>(floorplans.size());
+    const auto results = model_.evaluate_batch(system, floorplans, pool);
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const auto& r : results) out.push_back(r.max_temp_c);
+    return out;
   }
   long num_evaluations() const override { return count_; }
   std::string name() const override { return "fast-model"; }

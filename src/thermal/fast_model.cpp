@@ -43,19 +43,21 @@ double FastThermalModel::image_kernel(const Point& src,
   const double kReflectivity = config_.image_reflectivity;
   const double w = package_w_mm_;
   const double h = package_h_mm_;
-  double k = decay_kernel(euclidean(src, probe));
+  double k = decay_kernel(kernel_distance(src.x - probe.x, src.y - probe.y));
   const double mx[2] = {-src.x, 2.0 * w - src.x};        // mirror in x
   const double my[2] = {-src.y, 2.0 * h - src.y};        // mirror in y
   for (double ix : mx) {
-    k += kReflectivity * decay_kernel(euclidean({ix, src.y}, probe));
+    k += kReflectivity *
+         decay_kernel(kernel_distance(ix - probe.x, src.y - probe.y));
   }
   for (double iy : my) {
-    k += kReflectivity * decay_kernel(euclidean({src.x, iy}, probe));
+    k += kReflectivity *
+         decay_kernel(kernel_distance(src.x - probe.x, iy - probe.y));
   }
   for (double ix : mx) {
     for (double iy : my) {
       k += kReflectivity * kReflectivity *
-           decay_kernel(euclidean({ix, iy}, probe));
+           decay_kernel(kernel_distance(ix - probe.x, iy - probe.y));
     }
   }
   return uniform_floor_ + k;
@@ -150,8 +152,10 @@ double FastThermalModel::source_contribution(std::span<const Point> subsources,
                                              double correction) const {
   double m = 0.0;
   for (const Point& s : subsources) {
-    m += config_.use_images ? image_kernel(s, probe)
-                            : mutual_table_.lookup(euclidean(s, probe));
+    m += config_.use_images
+             ? image_kernel(s, probe)
+             : mutual_table_.lookup(
+                   kernel_distance(s.x - probe.x, s.y - probe.y));
   }
   m *= power_w / static_cast<double>(subsources.size());
   // Multiplying by an exact 1.0 is the identity, so the disabled-correction

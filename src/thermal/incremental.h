@@ -157,6 +157,19 @@ class IncrementalFastModelEvaluator final : public ThermalEvaluator {
     ++full_evals_;
     return model_.evaluate(system, floorplan).max_temp_c;
   }
+  /// Batched SoA scoring (does not disturb the incremental session state —
+  /// the snapshot lanes are independent of the pair-coupling cache).
+  std::vector<double> max_temperature_batch(
+      const ChipletSystem& system, std::span<const Floorplan> floorplans,
+      parallel::ThreadPool* pool = nullptr) override {
+    count_ += static_cast<long>(floorplans.size());
+    full_evals_ += static_cast<long>(floorplans.size());
+    const auto results = model_.evaluate_batch(system, floorplans, pool);
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const auto& r : results) out.push_back(r.max_temp_c);
+    return out;
+  }
   long num_evaluations() const override { return count_; }
   std::string name() const override { return "fast-model-incremental"; }
 

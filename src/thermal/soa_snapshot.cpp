@@ -1,0 +1,314 @@
+#include "thermal/soa_snapshot.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/thread_pool.h"
+#include "util/timer.h"
+
+namespace rlplan::thermal {
+
+SoaSnapshot::SoaSnapshot(const FastThermalModel& model,
+                         const ChipletSystem& system)
+    : model_(&model), system_(&system) {
+  if (model.empty()) {
+    throw std::invalid_argument("SoaSnapshot: model has no tables");
+  }
+  n_ = system.num_chiplets();
+  pc_ = static_cast<std::size_t>(model.probe_count());
+  const auto sub = static_cast<std::size_t>(model.config().source_subsamples);
+  ss_ = sub * sub;
+  use_images_ = model.config().use_images;
+  img_ = use_images_ ? 9 : 1;
+  const double r = model.config().image_reflectivity;
+  // Weight per image point, in the exact accumulation order of
+  // FastThermalModel::image_kernel(): direct, 4 side mirrors, 4 corner
+  // double-mirrors. r * r is precomputed because image_kernel's corner term
+  // evaluates (reflectivity * reflectivity) first — same double either way.
+  const double w9[9] = {1.0, r, r, r, r, r * r, r * r, r * r, r * r};
+  std::copy(w9, w9 + 9, img_w_);
+  correct_pairs_ =
+      model.config().correct_mutual && model.has_position_correction();
+  floor_ = model.uniform_floor();
+  ambient_c_ = model.ambient_c();
+  mutual_ = model.mutual_table().view();
+  lut_img_.assign(2 * mutual_.size, 0.0);
+  lut_raw_.assign(2 * mutual_.size, 0.0);
+  for (std::size_t i = 0; i < mutual_.size; ++i) {
+    const double diff =
+        i + 1 < mutual_.size ? mutual_.values[i + 1] - mutual_.values[i] : 0.0;
+    lut_raw_[2 * i] = mutual_.values[i];
+    lut_raw_[2 * i + 1] = diff;
+    lut_img_[2 * i] = mutual_.values[i] - floor_;
+    lut_img_[2 * i + 1] = diff;
+  }
+  // Coordinates are capped in the double domain (instead of clamping the
+  // integer index) so pass 1b stays branch-free: the cap is the largest
+  // double below nk-1, making trunc() land on the last segment with a
+  // fraction of ~1 — the same interpolated value to within an ulp.
+  coord_cap_ = std::nextafter(static_cast<double>(mutual_.size - 1), 0.0);
+
+  placed_.assign(n_, 0);
+  self_rise_.assign(n_, 0.0);
+  corr_.assign(n_, 1.0);
+  probe_x_.assign(n_ * pc_, 0.0);
+  probe_y_.assign(n_ * pc_, 0.0);
+  shape_.assign(n_ * pc_, 0.0);
+  src_die_.reserve(n_);
+  src_scale_.reserve(n_);
+  src_corr_.reserve(n_);
+  src_x_.reserve(n_ * ss_ * img_);
+  src_y_.reserve(n_ * ss_ * img_);
+  coord_.reserve(n_ * ss_ * img_);
+  pair_corr_.reserve(n_);
+}
+
+void SoaSnapshot::refresh(const Floorplan& floorplan) {
+  if (!bound()) throw std::logic_error("SoaSnapshot: refresh while unbound");
+  if (floorplan.num_chiplets() != n_) {
+    throw std::invalid_argument(
+        "SoaSnapshot: floorplan/system size mismatch");
+  }
+  const double pkg_w = model_->package_w_mm();
+  const double pkg_h = model_->package_h_mm();
+  src_die_.clear();
+  src_scale_.clear();
+  src_corr_.clear();
+  src_x_.clear();
+  src_y_.clear();
+  for (std::size_t i = 0; i < n_; ++i) {
+    placed_[i] = floorplan.is_placed(i) ? 1 : 0;
+    if (!placed_[i]) continue;
+    const Rect rect = floorplan.rect_of(i);
+    // The per-die scalar terms go through the model's own building blocks,
+    // so they are the very doubles evaluate() computes.
+    model_->receiver_probes(rect, probes_scratch_, shapes_scratch_);
+    for (std::size_t p = 0; p < pc_; ++p) {
+      probe_x_[i * pc_ + p] = probes_scratch_[p].x;
+      probe_y_[i * pc_ + p] = probes_scratch_[p].y;
+      shape_[i * pc_ + p] = shapes_scratch_[p];
+    }
+    self_rise_[i] = model_->self_rise(system_->chiplet(i), rect);
+    corr_[i] = model_->center_correction(rect.center());
+
+    const double power = system_->chiplet(i).power;
+    if (power <= 0.0) continue;
+    src_die_.push_back(i);
+    src_scale_.push_back(power / static_cast<double>(ss_));
+    src_corr_.push_back(corr_[i]);
+    model_->source_points(rect, subs_scratch_);
+    for (const Point& s : subs_scratch_) {
+      if (!use_images_) {
+        src_x_.push_back(s.x);
+        src_y_.push_back(s.y);
+        continue;
+      }
+      // Mirror coordinates in image_kernel's emission order; the expressions
+      // match image_kernel's mx/my arrays bit-for-bit.
+      const double mx0 = -s.x;
+      const double mx1 = 2.0 * pkg_w - s.x;
+      const double my0 = -s.y;
+      const double my1 = 2.0 * pkg_h - s.y;
+      const double xs[9] = {s.x, mx0, mx1, s.x, s.x, mx0, mx0, mx1, mx1};
+      const double ys[9] = {s.y, s.y, s.y, my0, my1, my0, my1, my0, my1};
+      src_x_.insert(src_x_.end(), xs, xs + 9);
+      src_y_.insert(src_y_.end(), ys, ys + 9);
+    }
+  }
+}
+
+double SoaSnapshot::receiver_rise_uniform(std::size_t i) const {
+  const std::size_t n_src = src_die_.size();
+  const std::size_t pts_per_src = ss_ * img_;
+  const std::size_t total = n_src * pts_per_src;
+  const double* sx = src_x_.data();
+  const double* sy = src_y_.data();
+  int* idx = idx_.data();
+  double* frac = frac_.data();
+  const double front = mutual_.front;
+  const double back = mutual_.back;
+  const double inv = mutual_.inv_step;
+  const double cap = coord_cap_;
+  const double* lut_img = lut_img_.data();
+  const double* lut_raw = lut_raw_.data();
+  const double floor = floor_;
+  const double self = self_rise_[i];
+  // Unit image weights (reflectivity 1.0, the adiabatic-rim default) take a
+  // multiply-free inner loop; w * decay with w == 1.0 is the identity, so
+  // both branches produce the same doubles.
+  const bool unit_weights = use_images_ && img_w_[1] == 1.0;
+
+  double worst = 0.0;
+  for (std::size_t p = 0; p < pc_; ++p) {
+    const double px = probe_x_[i * pc_ + p];
+    const double py = probe_y_[i * pc_ + p];
+    // Pass 1 — distance to capped table coordinate to segment index +
+    // fraction, one fused sweep: contiguous loads, no branches, no indexed
+    // access. The whole loop auto-vectorizes, sqrt and the packed
+    // double<->int32 conversions included (which is why CMake builds this
+    // file with -fno-math-errno).
+    for (std::size_t k = 0; k < total; ++k) {
+      const double d = kernel_distance(sx[k] - px, sy[k] - py);
+      const double x = std::min(
+          (std::min(std::max(d, front), back) - front) * inv, cap);
+      const int ii = static_cast<int>(x);
+      idx[k] = ii;
+      frac[k] = x - static_cast<double>(ii);
+    }
+    // Pass 2 — gather + accumulate in evaluate()'s source order. The
+    // interpolation reads the precomputed segment LUT: base + frac * diff
+    // equals evaluate()'s division-form lerp to within ~2 ulp.
+    double mutual = 0.0;
+    for (std::size_t a = 0; a < n_src; ++a) {
+      if (src_die_[a] == i) continue;
+      const std::size_t base = a * pts_per_src;
+      const int* ix = idx + base;
+      const double* fr = frac + base;
+      double m = 0.0;
+      if (use_images_) {
+        for (std::size_t s = 0; s < ss_; ++s) {
+          double k = 0.0;
+          if (unit_weights) {
+            for (std::size_t t = 0; t < 9; ++t) {
+              const double* seg = lut_img + 2 * ix[s * 9 + t];
+              k += std::max(seg[0] + fr[s * 9 + t] * seg[1], 0.0);
+            }
+          } else {
+            for (std::size_t t = 0; t < 9; ++t) {
+              const double* seg = lut_img + 2 * ix[s * 9 + t];
+              k += img_w_[t] *
+                   std::max(seg[0] + fr[s * 9 + t] * seg[1], 0.0);
+            }
+          }
+          m += floor + k;
+        }
+      } else {
+        for (std::size_t s = 0; s < ss_; ++s) {
+          const double* seg = lut_raw + 2 * ix[s];
+          m += seg[0] + fr[s] * seg[1];
+        }
+      }
+      m *= src_scale_[a];
+      m *= pair_corr_[a];
+      mutual += m;
+    }
+    worst = std::max(worst, self * shape_[i * pc_ + p] + mutual);
+  }
+  return worst;
+}
+
+double SoaSnapshot::receiver_rise_exact(std::size_t i) const {
+  const std::size_t n_src = src_die_.size();
+  const std::size_t pts_per_src = ss_ * img_;
+  const std::size_t total = n_src * pts_per_src;
+  const double* sx = src_x_.data();
+  const double* sy = src_y_.data();
+  double* dist = coord_.data();
+  const MutualResistanceTable::View mt = mutual_;
+  const double floor = floor_;
+  const double self = self_rise_[i];
+
+  double worst = 0.0;
+  for (std::size_t p = 0; p < pc_; ++p) {
+    const double px = probe_x_[i * pc_ + p];
+    const double py = probe_y_[i * pc_ + p];
+    for (std::size_t k = 0; k < total; ++k) {
+      dist[k] = kernel_distance(sx[k] - px, sy[k] - py);
+    }
+    double mutual = 0.0;
+    for (std::size_t a = 0; a < n_src; ++a) {
+      if (src_die_[a] == i) continue;
+      const double* d = dist + a * pts_per_src;
+      double m = 0.0;
+      if (use_images_) {
+        for (std::size_t s = 0; s < ss_; ++s) {
+          double k = 0.0;
+          for (std::size_t t = 0; t < 9; ++t) {
+            k += img_w_[t] * std::max(mt.lookup(d[s * 9 + t]) - floor, 0.0);
+          }
+          m += floor + k;
+        }
+      } else {
+        for (std::size_t s = 0; s < ss_; ++s) {
+          m += mt.lookup(d[s]);
+        }
+      }
+      m *= src_scale_[a];
+      m *= pair_corr_[a];
+      mutual += m;
+    }
+    worst = std::max(worst, self * shape_[i * pc_ + p] + mutual);
+  }
+  return worst;
+}
+
+void SoaSnapshot::evaluate(FastThermalResult& out) const {
+  if (!bound()) throw std::logic_error("SoaSnapshot: evaluate while unbound");
+  out.chiplet_temp_c.assign(n_, ambient_c_);
+  out.eval_seconds = 0.0;
+
+  const std::size_t n_src = src_die_.size();
+  coord_.resize(n_src * ss_ * img_);
+  idx_.resize(n_src * ss_ * img_);
+  frac_.resize(n_src * ss_ * img_);
+  pair_corr_.resize(n_src);
+  const bool uniform = mutual_.inv_step > 0.0 && mutual_.size >= 2;
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!placed_[i]) continue;
+    const double c_dst = corr_[i];
+    // Hoisted per receiver: the pair factor evaluate() recomputes per
+    // (probe, source) is probe-independent, and multiplying by the same
+    // double later yields the same product.
+    for (std::size_t a = 0; a < n_src; ++a) {
+      pair_corr_[a] = correct_pairs_ ? std::sqrt(src_corr_[a] * c_dst) : 1.0;
+    }
+    const double rise =
+        uniform ? receiver_rise_uniform(i) : receiver_rise_exact(i);
+    out.chiplet_temp_c[i] = ambient_c_ + rise;
+  }
+
+  out.max_temp_c = ambient_c_;
+  for (double t : out.chiplet_temp_c) {
+    out.max_temp_c = std::max(out.max_temp_c, t);
+  }
+}
+
+std::vector<FastThermalResult> FastThermalModel::evaluate_batch(
+    const ChipletSystem& system, std::span<const Floorplan> floorplans,
+    parallel::ThreadPool* pool) const {
+  if (empty()) {
+    throw std::logic_error("FastThermalModel: evaluate_batch on empty model");
+  }
+  std::vector<FastThermalResult> results(floorplans.size());
+  if (floorplans.empty()) return results;
+
+  const auto run_chunk = [&](SoaSnapshot& snap, std::size_t lo,
+                             std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Timer timer;
+      snap.refresh(floorplans[i]);
+      snap.evaluate(results[i]);
+      results[i].eval_seconds = timer.seconds();
+    }
+  };
+
+  const std::size_t lanes =
+      pool == nullptr ? 1 : std::min(pool->size() + 1, floorplans.size());
+  if (lanes <= 1) {
+    SoaSnapshot snapshot(*this, system);
+    run_chunk(snapshot, 0, floorplans.size());
+    return results;
+  }
+  // One snapshot per lane; lane c owns the contiguous candidate range
+  // [b*c/lanes, b*(c+1)/lanes) so results are index-aligned and identical
+  // for every thread count.
+  std::vector<SoaSnapshot> snapshots(lanes, SoaSnapshot(*this, system));
+  const std::size_t b = floorplans.size();
+  pool->parallel_for(lanes, [&](std::size_t c) {
+    run_chunk(snapshots[c], b * c / lanes, b * (c + 1) / lanes);
+  });
+  return results;
+}
+
+}  // namespace rlplan::thermal

@@ -1,0 +1,133 @@
+// Structure-of-arrays snapshot + tiled kernel for batched fast-model
+// evaluation.
+//
+// FastThermalModel::evaluate() walks pointer-chased per-chiplet structures
+// (std::optional<Rect> placements, per-call std::vector scratch, cross-TU
+// table lookups) one pair at a time. That is fine for one query, but
+// whole-floorplan evaluation is the cost driver for SA multi-start rounds,
+// PPO batch scoring, and the regression suite. SoaSnapshot flattens one
+// system's evaluation state into contiguous arrays:
+//
+//   * per die: probe points, self-heating shape factors, self rise,
+//     position-correction factor (refreshed in place per floorplan);
+//   * per active source (placed, power > 0): the sub-source grid expanded
+//     through the method-of-images mirrors, packed as flat x/y arrays with a
+//     shared 9-entry weight vector [1, r, r, r, r, r^2, r^2, r^2, r^2].
+//
+// The kernel then runs two tiled passes per receiver probe: a vectorizable
+// sweep turning every source-point distance into a clamped table coordinate
+// (sqrt, min/max, one multiply — no branches, no indexed loads), and a
+// scalar accumulation pass that resolves the interpolation from a
+// precomputed base/diff lookup table and sums contributions in exactly the
+// order evaluate() uses.
+//
+// Numerical contract (asserted by tests/soa_kernel_test.cpp): the
+// accumulation order is identical to evaluate()'s, so no error grows with
+// the die count. For the production case — a uniform-step mutual table,
+// which FastThermalModel guarantees by resampling at construction — the
+// interpolation uses the fraction form base[i] + frac * (v[i+1] - v[i])
+// instead of evaluate()'s division form, which differs by at most a couple
+// of ulp per term (~1e-12 C on the summed temperatures; the suite gates at
+// 1e-9 C, the repo-wide equivalence bar). Non-uniform tables take a
+// fallback pass that replicates evaluate()'s arithmetic operation for
+// operation and is bit-identical.
+//
+// Lifecycle: bind once per (model, system) — sizes and powers are fixed —
+// then refresh() per candidate floorplan and evaluate(). One snapshot per
+// thread; FastThermalModel::evaluate_batch() owns a snapshot per worker lane
+// and fans candidate chunks over the shared ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "thermal/fast_model.h"
+
+namespace rlplan::thermal {
+
+class SoaSnapshot {
+ public:
+  SoaSnapshot() = default;
+  /// Binds to `model` and `system` (both must outlive the snapshot, at
+  /// stable addresses). Throws std::invalid_argument on an empty model.
+  SoaSnapshot(const FastThermalModel& model, const ChipletSystem& system);
+
+  bool bound() const { return model_ != nullptr; }
+  const FastThermalModel& model() const { return *model_; }
+  const ChipletSystem& system() const { return *system_; }
+  std::size_t num_chiplets() const { return n_; }
+
+  /// Rebuilds the per-floorplan arrays (placements, probe grids, self terms,
+  /// image-expanded sub-sources) in place — no allocation after the first
+  /// refresh of the largest placement. `floorplan` must be over the bound
+  /// system.
+  void refresh(const Floorplan& floorplan);
+
+  /// Temperatures of the refreshed placement, matching
+  /// FastThermalModel::evaluate() on the same floorplan under the numerical
+  /// contract above: within 1e-9 C for uniform mutual tables (the production
+  /// case), bit-identical on the non-uniform fallback. eval_seconds is left
+  /// 0 for the caller to stamp.
+  void evaluate(FastThermalResult& out) const;
+
+  /// Number of active sources (placed dies with power > 0) in the last
+  /// refresh.
+  std::size_t num_sources() const { return src_die_.size(); }
+
+ private:
+  const FastThermalModel* model_ = nullptr;
+  const ChipletSystem* system_ = nullptr;
+
+  // Bind-time constants.
+  std::size_t n_ = 0;        ///< chiplets in the system
+  std::size_t pc_ = 0;       ///< receiver probes per die
+  std::size_t ss_ = 0;       ///< sub-sources per die
+  std::size_t img_ = 1;      ///< image points per sub-source (9 or 1)
+  bool use_images_ = false;
+  bool correct_pairs_ = false;  ///< correct_mutual with a table installed
+  double floor_ = 0.0;          ///< uniform rise floor (K/W)
+  double ambient_c_ = 0.0;
+  double img_w_[9] = {1.0};  ///< per-image weights (direct, sides, corners)
+  MutualResistanceTable::View mutual_{};
+  // Uniform-table interpolation LUTs, interleaved as (base, diff) pairs per
+  // segment so one lookup touches one cache line: base is the value at the
+  // left knot (with the decay floor pre-subtracted in the images variant),
+  // diff the value change across the segment.
+  std::vector<double> lut_img_;  // {values[i] - floor, values[i+1]-values[i]}
+  std::vector<double> lut_raw_;  // {values[i], values[i+1]-values[i]}
+  double coord_cap_ = 0.0;  ///< largest table coordinate (just under nk-1)
+
+  // Per-die state, refreshed per floorplan.
+  std::vector<std::uint8_t> placed_;  // n
+  std::vector<double> self_rise_;     // n
+  std::vector<double> corr_;          // n
+  std::vector<double> probe_x_;       // n * pc
+  std::vector<double> probe_y_;       // n * pc
+  std::vector<double> shape_;         // n * pc
+  // Active sources, packed ascending by die index.
+  std::vector<std::size_t> src_die_;  // die index per active source
+  std::vector<double> src_scale_;     // power / ss per active source
+  std::vector<double> src_corr_;      // correction factor per active source
+  std::vector<double> src_x_;         // num_sources * ss * img
+  std::vector<double> src_y_;         // num_sources * ss * img
+
+  // Kernel scratch.
+  mutable std::vector<double> coord_;      // one table-coordinate tile/probe
+  mutable std::vector<int> idx_;           // truncated segment index per point
+  mutable std::vector<double> frac_;       // coordinate fraction per point
+  mutable std::vector<double> pair_corr_;  // per-source factor for a receiver
+  std::vector<Point> probes_scratch_;
+  std::vector<double> shapes_scratch_;
+  std::vector<Point> subs_scratch_;
+
+  /// Peak rise of receiver i via the fraction-form LUT (uniform tables).
+  double receiver_rise_uniform(std::size_t i) const;
+  /// Peak rise of receiver i replicating evaluate()'s arithmetic exactly
+  /// (fallback for non-uniform mutual tables).
+  double receiver_rise_exact(std::size_t i) const;
+};
+
+}  // namespace rlplan::thermal

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "util/rng.h"
 
 namespace rlplan {
@@ -122,6 +124,144 @@ TEST(RectGap, DiagonalSeparation) {
   const Rect b{4.0, 5.0, 1.0, 1.0};
   // dx = 3, dy = 4 -> corner distance 5.
   EXPECT_DOUBLE_EQ(rect_gap(a, b), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property-based invariants over seeded random rectangles.
+//
+// Symmetry invariants hold bit-for-bit (both argument orders evaluate the
+// same set of terms). Translation invariants allow an absolute 1e-10
+// tolerance: translated coordinate sums round, and quantities like a sliver
+// intersection suffer catastrophic cancellation, so ULP-relative comparison
+// would be wrong by construction. Predicates (overlap/containment) are
+// compared exactly; the fixed seeds keep them away from the measure-zero
+// boundary cases where a rounded sum could legitimately flip a strict
+// inequality.
+constexpr double kGeomTol = 1e-10;
+
+Rect random_rect(Rng& rng, double span = 20.0, double max_dim = 8.0) {
+  return {rng.uniform(-span, span), rng.uniform(-span, span),
+          rng.uniform(0.1, max_dim), rng.uniform(0.1, max_dim)};
+}
+
+Rect translated(const Rect& r, double dx, double dy) {
+  return {r.x + dx, r.y + dy, r.w, r.h};
+}
+
+TEST(RectProperties, OverlapAndGapAndDistanceAreSymmetric) {
+  Rng rng(0x9e0ULL);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = random_rect(rng);
+    const Rect b = random_rect(rng);
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+    EXPECT_EQ(rect_gap(a, b), rect_gap(b, a));
+    EXPECT_EQ(center_distance(a, b), center_distance(b, a));
+    EXPECT_EQ(a.intersection_area(b), b.intersection_area(a));
+  }
+}
+
+TEST(RectProperties, PredicatesAreTranslationInvariant) {
+  Rng rng(0x7a1ULL);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = random_rect(rng);
+    const Rect b = random_rect(rng);
+    const double dx = 0.25 * static_cast<double>(
+                                 rng.uniform_int(std::int64_t{-64}, 64));
+    const double dy = 0.25 * static_cast<double>(
+                                 rng.uniform_int(std::int64_t{-64}, 64));
+    const Rect at = translated(a, dx, dy);
+    const Rect bt = translated(b, dx, dy);
+    EXPECT_EQ(a.overlaps(b), at.overlaps(bt)) << "case " << i;
+    EXPECT_EQ(a.contains(b), at.contains(bt)) << "case " << i;
+    EXPECT_NEAR(a.intersection_area(b), at.intersection_area(bt), kGeomTol);
+    EXPECT_NEAR(rect_gap(a, b), rect_gap(at, bt), kGeomTol);
+    EXPECT_NEAR(center_distance(a, b), center_distance(at, bt), kGeomTol);
+  }
+}
+
+TEST(RectProperties, OverlapGapAndIntersectionAreaAreConsistent) {
+  Rng rng(0xabcULL);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = random_rect(rng);
+    const Rect b = random_rect(rng);
+    // Strict-interior overlap <=> positive intersection area; any positive
+    // gap implies no overlap; overlapping rects have zero gap.
+    EXPECT_EQ(a.overlaps(b), a.intersection_area(b) > 0.0);
+    if (rect_gap(a, b) > 0.0) EXPECT_FALSE(a.overlaps(b));
+    if (a.overlaps(b)) EXPECT_DOUBLE_EQ(rect_gap(a, b), 0.0);
+    // Intersection area never exceeds either operand's area.
+    EXPECT_LE(a.intersection_area(b), a.area() + 1e-12);
+    EXPECT_LE(a.intersection_area(b), b.area() + 1e-12);
+  }
+}
+
+TEST(RectProperties, ContainmentImpliesInnerAreaIntersection) {
+  Rng rng(0x321ULL);
+  for (int i = 0; i < 300; ++i) {
+    const Rect outer = random_rect(rng, 10.0, 8.0);
+    // An inner rect drawn inside outer by construction.
+    const double fx = rng.uniform(0.0, 0.7);
+    const double fy = rng.uniform(0.0, 0.7);
+    const Rect inner{outer.x + fx * outer.w, outer.y + fy * outer.h,
+                     (1.0 - fx) * outer.w * rng.uniform(0.1, 1.0),
+                     (1.0 - fy) * outer.h * rng.uniform(0.1, 1.0)};
+    ASSERT_TRUE(outer.contains(inner));
+    EXPECT_NEAR(outer.intersection_area(inner), inner.area(), 1e-12);
+    // Containment is reflexive and antisymmetric on distinct areas.
+    EXPECT_TRUE(inner.contains(inner));
+    if (inner.area() < outer.area()) EXPECT_FALSE(inner.contains(outer));
+    // All four corners of a contained rect are contained points.
+    EXPECT_TRUE(outer.contains(Point{inner.x, inner.y}));
+    EXPECT_TRUE(outer.contains(Point{inner.right(), inner.top()}));
+  }
+}
+
+TEST(RectProperties, ZeroAreaRectsNeverOverlapButMayTouchAndContain) {
+  Rng rng(0x444ULL);
+  for (int i = 0; i < 200; ++i) {
+    // Degenerate rects: zero width, zero height, or a point.
+    Rect line = random_rect(rng);
+    if (i % 2 == 0) {
+      line.w = 0.0;
+    } else {
+      line.h = 0.0;
+    }
+    const Rect solid = random_rect(rng);
+    // A zero-area rect has no interior, so strict-interior overlap is
+    // impossible — keeping overlaps() consistent with intersection_area()
+    // even for degenerate inputs.
+    EXPECT_FALSE(line.overlaps(solid)) << "case " << i;
+    EXPECT_FALSE(solid.overlaps(line)) << "case " << i;
+    EXPECT_EQ(line.overlaps(solid), line.intersection_area(solid) > 0.0);
+    EXPECT_DOUBLE_EQ(line.intersection_area(solid), 0.0);
+    EXPECT_DOUBLE_EQ(line.area(), 0.0);
+    // ...but closed-boundary containment still works.
+    EXPECT_TRUE(line.contains(Point{line.x, line.y}));
+    EXPECT_TRUE(line.contains(line));
+  }
+  const Rect point{3.0, 4.0, 0.0, 0.0};
+  EXPECT_FALSE(point.overlaps(point));
+  EXPECT_TRUE(point.contains(point));
+  EXPECT_TRUE(point.contains(Point{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(rect_gap(point, Rect{3.0, 4.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(RectProperties, InflateShrinkRoundTripAndMonotonicity) {
+  Rng rng(0x777ULL);
+  for (int i = 0; i < 200; ++i) {
+    const Rect r = random_rect(rng);
+    const double m = 0.5 * static_cast<double>(
+                               rng.uniform_int(std::int64_t{0}, 8));
+    const Rect round_trip = r.inflated(m).inflated(-m);
+    EXPECT_NEAR(round_trip.x, r.x, kGeomTol);
+    EXPECT_NEAR(round_trip.y, r.y, kGeomTol);
+    EXPECT_NEAR(round_trip.w, r.w, kGeomTol);
+    EXPECT_NEAR(round_trip.h, r.h, kGeomTol);
+    // A grown rect contains the original; the center moves only by rounding.
+    EXPECT_TRUE(r.inflated(m).contains(r));
+    EXPECT_NEAR(r.inflated(m).center().x, r.center().x, kGeomTol);
+    EXPECT_NEAR(r.inflated(m).center().y, r.center().y, kGeomTol);
+  }
 }
 
 }  // namespace

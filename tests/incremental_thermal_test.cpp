@@ -8,9 +8,11 @@
 
 #include <cmath>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/floorplan.h"
+#include "fuzz_util.h"
 #include "rl/env.h"
 #include "systems/synthetic.h"
 #include "thermal/evaluator.h"
@@ -19,7 +21,16 @@
 namespace rlplan::thermal {
 namespace {
 
+using rlplan::testing::fuzz_scale;
+
 constexpr double kInterposer = 50.0;
+
+/// One-line reproduction seed for the nightly failure artifact: each fuzz
+/// sequence runs from its own derived seed, so a red nightly case replays at
+/// any RLPLANNER_FUZZ_SCALE with just this line.
+void report_failure_seed(const std::string& context) {
+  rlplan::testing::report_failure_seed("incremental_thermal_test", context);
+}
 
 // Synthetic characterization-free model: smooth analytic tables so the fuzz
 // loop costs microseconds per batch reference evaluation.
@@ -125,22 +136,28 @@ void expect_state_matches_batch(const IncrementalThermalState& state,
 // The acceptance bar: >= 1000 random mutation sequences across all variants.
 TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
   const auto vs = variants();
+  const int scale = fuzz_scale();
   Rng rng(0xfeedULL);
   int sequences = 0;
   for (const Variant& v : vs) {
     const FastThermalModel model = make_model(v.config, v.correction, v.droop);
-    for (int seq = 0; seq < 260; ++seq, ++sequences) {
-      const ChipletSystem sys = random_system(rng);
+    for (int seq = 0; seq < 260 * scale; ++seq, ++sequences) {
+      // Every sequence runs from its own derived seed so a nightly failure
+      // is replayable in isolation, independent of the iteration scale.
+      const std::uint64_t seq_seed = rng.next();
+      Rng seq_rng(seq_seed);
+      const ChipletSystem sys = random_system(seq_rng);
       const std::size_t n = sys.num_chiplets();
       IncrementalThermalState state(model, sys);
       Floorplan fp(sys);             // mirrors the state's placement
       Floorplan committed_fp(sys);   // snapshot at the last commit()
-      const int ops = 4 + static_cast<int>(rng.uniform_int(std::uint64_t{8}));
+      const int ops =
+          4 + static_cast<int>(seq_rng.uniform_int(std::uint64_t{8}));
       for (int op = 0; op < ops; ++op) {
-        const double u = rng.uniform();
-        const std::size_t die = rng.uniform_int(std::uint64_t{n});
+        const double u = seq_rng.uniform();
+        const std::size_t die = seq_rng.uniform_int(std::uint64_t{n});
         if (u < 0.45) {  // place or move
-          const Placement p = random_placement(sys, die, rng);
+          const Placement p = random_placement(sys, die, seq_rng);
           state.place(die, p);
           fp.place(die, p.position, p.rotated);
         } else if (u < 0.65) {  // remove
@@ -153,12 +170,17 @@ TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
           state.commit();
           committed_fp = fp;
         }
-        ASSERT_NO_FATAL_FAILURE(
-            expect_state_matches_batch(state, model, sys, fp, v.name));
+        expect_state_matches_batch(state, model, sys, fp, v.name);
+        if (::testing::Test::HasFatalFailure()) {
+          report_failure_seed(std::string("variant=") + v.name +
+                              " sequence_seed=" + std::to_string(seq_seed) +
+                              " op=" + std::to_string(op));
+          return;
+        }
       }
     }
   }
-  EXPECT_GE(sequences, 1000);
+  EXPECT_GE(sequences, 1000 * scale);
 }
 
 // Tight agreement on a hand-checkable case: the incremental query sums the

@@ -1,0 +1,369 @@
+// Differential fuzzing for the SoA batch kernel: over >= 1000 random
+// (system, floorplan) cases spanning the synthetic generator families and
+// every FastModelConfig variant, the batched SoA evaluator must agree with
+// legacy FastThermalModel::evaluate() and IncrementalThermalState.
+//
+// Numerical contract under test (documented in soa_snapshot.h):
+//  * legacy evaluate() vs IncrementalThermalState — BIT-EXACT. The
+//    incremental cache stores the very doubles evaluate() sums, in the same
+//    order.
+//  * SoA kernel vs legacy — within kTempTolC (1e-9 C, the repo-wide
+//    equivalence bar). The SoA pass keeps evaluate()'s accumulation order
+//    (so error does not grow with die count) but interpolates uniform mutual
+//    tables in fraction form (base + frac * diff) instead of the division
+//    form, a <= ~2 ulp per-term difference; observed differences are
+//    ~1e-13 C.
+//  * SoA serial vs SoA fanned over a ThreadPool — BIT-EXACT (chunking never
+//    changes per-candidate arithmetic).
+//
+// Nightly long-fuzz hooks: RLPLANNER_FUZZ_SCALE multiplies the case count
+// (CI's schedule job runs 20x under ASan); on a mismatch the failing case's
+// reproduction seed is appended to $RLPLANNER_FUZZ_FAILURE_FILE so CI can
+// upload it as an artifact.
+#include "thermal/soa_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/floorplan.h"
+#include "fuzz_util.h"
+#include "parallel/thread_pool.h"
+#include "systems/synthetic.h"
+#include "thermal/evaluator.h"
+#include "thermal/incremental.h"
+#include "util/rng.h"
+
+namespace rlplan::thermal {
+namespace {
+
+using rlplan::testing::fuzz_scale;
+
+constexpr double kInterposer = 60.0;
+constexpr double kTempTolC = 1e-9;
+
+void report_failure_seed(const std::string& context) {
+  rlplan::testing::report_failure_seed("soa_kernel_test", context);
+}
+
+// Characterization-free analytic model (same construction family as
+// incremental_thermal_test) so each reference evaluation costs microseconds.
+FastThermalModel make_model(const FastModelConfig& config,
+                            bool with_correction, bool with_droop) {
+  std::vector<double> dims;
+  for (double d = 2.0; d <= 22.0; d += 4.0) dims.push_back(d);
+  std::vector<std::vector<double>> self_vals(dims.size(),
+                                             std::vector<double>(dims.size()));
+  std::vector<std::vector<double>> droop_vals(
+      dims.size(), std::vector<double>(dims.size()));
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      self_vals[i][j] = 3.0 / (1.0 + 0.04 * dims[i] * dims[j]);
+      droop_vals[i][j] = 0.55 + 0.002 * (dims[i] + dims[j]);
+    }
+  }
+  const double floor = 0.02;
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 90.0; d += 1.5) {
+    distances.push_back(d);
+    mutual_vals.push_back(floor + 0.8 * std::exp(-d / 8.0));
+  }
+  FastThermalModel model(SelfResistanceTable(dims, dims, self_vals),
+                         MutualResistanceTable(distances, mutual_vals), 45.0,
+                         config);
+  model.set_image_params(kInterposer, kInterposer, floor);
+  if (with_droop) {
+    model.set_self_droop(BilinearTable2D(dims, dims, droop_vals));
+  }
+  if (with_correction) {
+    std::vector<double> axis{0.0, kInterposer / 2.0, kInterposer};
+    std::vector<std::vector<double>> corr{
+        {1.3, 1.2, 1.3}, {1.2, 1.0, 1.2}, {1.3, 1.2, 1.3}};
+    model.set_position_correction(BilinearTable2D(axis, axis, corr));
+  }
+  return model;
+}
+
+struct Variant {
+  const char* name;
+  FastModelConfig config;
+  bool correction;
+  bool droop;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> v;
+  v.push_back({"images+droop", FastModelConfig{}, false, true});
+  FastModelConfig plain;
+  plain.use_images = false;
+  v.push_back({"plain", plain, false, false});
+  FastModelConfig corrected;
+  corrected.use_images = false;
+  corrected.correct_mutual = true;
+  v.push_back({"correction", corrected, true, true});
+  FastModelConfig damped;
+  damped.use_images = true;
+  damped.source_subsamples = 1;
+  damped.receiver_probes = 1;
+  damped.image_reflectivity = 0.6;  // non-unit weights: the weighted loop
+  v.push_back({"single-probe-damped", damped, false, false});
+  return v;
+}
+
+/// Random fuzz system: alternates between the free-form generator and the
+/// structured family generator so sliver aspects, skewed power maps, and
+/// every netlist topology feed the kernel.
+ChipletSystem random_system(Rng& rng) {
+  if (rng.uniform() < 0.5) {
+    systems::SyntheticConfig sc;
+    sc.min_chiplets = 2;
+    sc.max_chiplets = 9;
+    sc.interposer_w_mm = kInterposer;
+    sc.interposer_h_mm = kInterposer;
+    return systems::SyntheticSystemGenerator(sc).generate(rng.next(), "fuzz");
+  }
+  systems::FamilyConfig fc;
+  fc.chiplets = 2 + rng.uniform_int(std::uint64_t{9});
+  fc.interposer_w_mm = kInterposer;
+  fc.interposer_h_mm = kInterposer;
+  fc.max_aspect = rng.uniform() < 0.3 ? 3.0 : 1.0;
+  fc.power_skew = rng.uniform() < 0.3 ? 2.0 : 0.0;
+  const systems::NetTopology topologies[] = {
+      systems::NetTopology::kRandom, systems::NetTopology::kStar,
+      systems::NetTopology::kChain,  systems::NetTopology::kRing,
+      systems::NetTopology::kMesh,   systems::NetTopology::kBipartite};
+  fc.topology = topologies[rng.uniform_int(std::uint64_t{6})];
+  return systems::generate_family(fc, rng.next(), "fuzz-family");
+}
+
+/// Random placement state: any in-bounds position is a valid thermal input
+/// (overlaps included); ~20% of dies stay unplaced to cover partial
+/// episodes.
+Floorplan random_floorplan(const ChipletSystem& sys, Rng& rng) {
+  Floorplan fp(sys);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    if (rng.uniform() < 0.2) continue;
+    const bool rotated = rng.uniform() < 0.3;
+    const Chiplet& c = sys.chiplet(i);
+    const double w = rotated ? c.height : c.width;
+    const double h = rotated ? c.width : c.height;
+    fp.place(i,
+             {rng.uniform(0.0, kInterposer - w),
+              rng.uniform(0.0, kInterposer - h)},
+             rotated);
+  }
+  return fp;
+}
+
+/// One differential case: legacy vs incremental (bit-exact) vs SoA snapshot
+/// (kTempTolC). Returns false on any mismatch.
+bool check_case(const FastThermalModel& model, const ChipletSystem& sys,
+                const Floorplan& fp, SoaSnapshot& snapshot,
+                IncrementalThermalState& incr, const std::string& context) {
+  const FastThermalResult legacy = model.evaluate(sys, fp);
+
+  incr.sync(fp);
+  std::vector<double> incr_temps;
+  incr.temperatures(incr_temps);
+
+  snapshot.refresh(fp);
+  FastThermalResult soa;
+  snapshot.evaluate(soa);
+
+  bool ok = true;
+  EXPECT_EQ(legacy.chiplet_temp_c.size(), soa.chiplet_temp_c.size());
+  for (std::size_t i = 0; i < legacy.chiplet_temp_c.size(); ++i) {
+    // Incremental caches the very doubles evaluate() sums: exact.
+    EXPECT_EQ(incr_temps[i], legacy.chiplet_temp_c[i])
+        << context << ": incremental chiplet " << i;
+    ok = ok && incr_temps[i] == legacy.chiplet_temp_c[i];
+    // SoA: fraction-form interpolation, documented tolerance.
+    EXPECT_NEAR(soa.chiplet_temp_c[i], legacy.chiplet_temp_c[i], kTempTolC)
+        << context << ": SoA chiplet " << i;
+    ok = ok &&
+         std::abs(soa.chiplet_temp_c[i] - legacy.chiplet_temp_c[i]) <=
+             kTempTolC;
+  }
+  EXPECT_EQ(incr.max_temperature_c(), legacy.max_temp_c) << context;
+  EXPECT_NEAR(soa.max_temp_c, legacy.max_temp_c, kTempTolC) << context;
+  ok = ok && incr.max_temperature_c() == legacy.max_temp_c &&
+       std::abs(soa.max_temp_c - legacy.max_temp_c) <= kTempTolC;
+  if (!ok) report_failure_seed(context);
+  return ok;
+}
+
+// The acceptance bar: >= 1000 random (system, floorplan) cases across all
+// config variants, each checked against both reference paths.
+TEST(SoaKernel, FuzzedSystemsMatchLegacyAndIncremental) {
+  const auto vs = variants();
+  const int scale = fuzz_scale();
+  const int systems_per_variant = 90 * scale;
+  Rng rng(0x50a50a5ULL);
+  int cases = 0;
+  for (const Variant& v : vs) {
+    const FastThermalModel model = make_model(v.config, v.correction, v.droop);
+    for (int s = 0; s < systems_per_variant; ++s) {
+      const std::uint64_t sys_seed = rng.next();
+      Rng sys_rng(sys_seed);
+      const ChipletSystem sys = random_system(sys_rng);
+      SoaSnapshot snapshot(model, sys);
+      IncrementalThermalState incr(model, sys);
+      for (int f = 0; f < 3; ++f, ++cases) {
+        const Floorplan fp = random_floorplan(sys, sys_rng);
+        const std::string context = std::string("variant=") + v.name +
+                                    " system_seed=" +
+                                    std::to_string(sys_seed) +
+                                    " floorplan_index=" + std::to_string(f);
+        if (!check_case(model, sys, fp, snapshot, incr, context)) {
+          return;  // the seed is reported; stop before flooding the log
+        }
+      }
+    }
+  }
+  EXPECT_GE(cases, 1000 * scale);
+}
+
+// evaluate_batch must reproduce per-candidate snapshot results exactly, for
+// any thread count (chunking never changes per-candidate arithmetic), and
+// its convenience wrappers must agree with per-call evaluate().
+TEST(SoaKernel, BatchMatchesSerialForAnyThreadCount) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  Rng rng(0xbead5ULL);
+  const ChipletSystem sys = [&] {
+    systems::SyntheticConfig sc;
+    sc.min_chiplets = 12;
+    sc.max_chiplets = 12;
+    sc.interposer_w_mm = kInterposer;
+    sc.interposer_h_mm = kInterposer;
+    return systems::SyntheticSystemGenerator(sc).generate(17, "batch");
+  }();
+  std::vector<Floorplan> fps;
+  for (int i = 0; i < 33; ++i) fps.push_back(random_floorplan(sys, rng));
+
+  const auto serial = model.evaluate_batch(sys, fps);
+  ASSERT_EQ(serial.size(), fps.size());
+  for (const std::size_t threads : {2u, 5u}) {
+    parallel::ThreadPool pool(threads);
+    const auto pooled = model.evaluate_batch(sys, fps, &pool);
+    ASSERT_EQ(pooled.size(), fps.size());
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      EXPECT_EQ(pooled[i].max_temp_c, serial[i].max_temp_c)
+          << "threads=" << threads << " candidate " << i;
+      for (std::size_t j = 0; j < serial[i].chiplet_temp_c.size(); ++j) {
+        EXPECT_EQ(pooled[i].chiplet_temp_c[j], serial[i].chiplet_temp_c[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    const auto legacy = model.evaluate(sys, fps[i]);
+    EXPECT_NEAR(serial[i].max_temp_c, legacy.max_temp_c, kTempTolC);
+  }
+}
+
+// Evaluator-level batch protocol: the default (grid-solver style) fallback
+// and the fast-model overrides must agree with per-call max_temperature.
+TEST(SoaKernel, EvaluatorBatchMatchesPerCallQueries) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  Rng rng(0xfeedbeefULL);
+  systems::SyntheticConfig sc;
+  sc.min_chiplets = 6;
+  sc.max_chiplets = 6;
+  sc.interposer_w_mm = kInterposer;
+  sc.interposer_h_mm = kInterposer;
+  const ChipletSystem sys =
+      systems::SyntheticSystemGenerator(sc).generate(23, "eval-batch");
+  std::vector<Floorplan> fps;
+  for (int i = 0; i < 7; ++i) fps.push_back(random_floorplan(sys, rng));
+
+  FastModelEvaluator fast(model);
+  IncrementalFastModelEvaluator incremental(model);
+  for (auto* eval :
+       std::vector<ThermalEvaluator*>{&fast, &incremental}) {
+    const long before = eval->num_evaluations();
+    const auto batch = eval->max_temperature_batch(sys, fps);
+    ASSERT_EQ(batch.size(), fps.size());
+    EXPECT_EQ(eval->num_evaluations(),
+              before + static_cast<long>(fps.size()));
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      EXPECT_NEAR(batch[i], model.evaluate(sys, fps[i]).max_temp_c,
+                  kTempTolC)
+          << eval->name() << " candidate " << i;
+    }
+  }
+}
+
+// Zero-power and unplaced dies exercise the kernel's source-skip paths; a
+// die with no power still reads its own temperature from neighbours.
+TEST(SoaKernel, ZeroPowerAndUnplacedDies) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  const ChipletSystem sys(
+      "skip-paths", kInterposer, kInterposer,
+      {{"hot", 8.0, 8.0, 30.0}, {"dark", 6.0, 6.0, 0.0},
+       {"warm", 7.0, 5.0, 12.0}, {"ghost", 5.0, 5.0, 9.0}},
+      {});
+  Floorplan fp(sys);
+  fp.place(0, {5.0, 5.0});
+  fp.place(1, {20.0, 8.0});
+  fp.place(2, {35.0, 30.0});
+  // chiplet 3 stays unplaced.
+
+  const auto legacy = model.evaluate(sys, fp);
+  SoaSnapshot snapshot(model, sys);
+  snapshot.refresh(fp);
+  FastThermalResult soa;
+  snapshot.evaluate(soa);
+  EXPECT_EQ(snapshot.num_sources(), 2u);  // zero-power die is not a source
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    EXPECT_NEAR(soa.chiplet_temp_c[i], legacy.chiplet_temp_c[i], kTempTolC);
+  }
+  EXPECT_EQ(soa.chiplet_temp_c[3], model.ambient_c());  // unplaced: ambient
+  EXPECT_GT(soa.chiplet_temp_c[1], model.ambient_c());  // heated by others
+
+  // Empty placement: everything ambient.
+  Floorplan empty(sys);
+  snapshot.refresh(empty);
+  snapshot.evaluate(soa);
+  EXPECT_EQ(soa.max_temp_c, model.ambient_c());
+}
+
+TEST(SoaKernel, RejectsEmptyModelAndMismatchedFloorplan) {
+  EXPECT_THROW(
+      {
+        const ChipletSystem sys("s", 10.0, 10.0, {{"a", 2.0, 2.0, 1.0}}, {});
+        SoaSnapshot snap(FastThermalModel{}, sys);
+      },
+      std::invalid_argument);
+
+  const FastThermalModel model = make_model(FastModelConfig{}, false, false);
+  const ChipletSystem sys("s", kInterposer, kInterposer,
+                          {{"a", 4.0, 4.0, 5.0}, {"b", 4.0, 4.0, 5.0}}, {});
+  const ChipletSystem other("o", kInterposer, kInterposer,
+                            {{"a", 4.0, 4.0, 5.0}}, {});
+  SoaSnapshot snap(model, sys);
+  EXPECT_THROW(snap.refresh(Floorplan(other)), std::invalid_argument);
+  const FastThermalModel no_tables;
+  EXPECT_THROW(no_tables.evaluate_batch(sys, {}), std::logic_error);
+}
+
+// The View's binary-search branch (non-uniform knots) must reproduce
+// MutualResistanceTable::lookup bit-for-bit — it is the fallback the SoA
+// kernel leans on when a table escapes the constructor's uniform resample.
+TEST(SoaKernel, NonUniformViewLookupMatchesTable) {
+  const MutualResistanceTable table({0.0, 1.0, 2.5, 7.0, 19.0, 40.0},
+                                    {0.9, 0.7, 0.5, 0.3, 0.2, 0.15});
+  ASSERT_FALSE(table.is_uniform());
+  const auto view = table.view();
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.uniform(-5.0, 50.0);
+    EXPECT_EQ(view.lookup(d), table.lookup(d)) << "d=" << d;
+  }
+  EXPECT_EQ(view.lookup(0.0), table.lookup(0.0));
+  EXPECT_EQ(view.lookup(40.0), table.lookup(40.0));
+  EXPECT_EQ(view.lookup(1.0), table.lookup(1.0));  // exact knot
+}
+
+}  // namespace
+}  // namespace rlplan::thermal

@@ -190,5 +190,92 @@ TEST(Tap25d, IncrementalEvaluatorMatchesBatchTrajectory) {
   }
 }
 
+// ------------------------------------------------------- population mode ----
+
+thermal::FastThermalModel population_model() {
+  std::vector<double> dims{2.0, 6.0, 10.0};
+  std::vector<std::vector<double>> self_vals(3, std::vector<double>(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      self_vals[i][j] = 2.5 / (1.0 + 0.05 * dims[i] * dims[j]);
+    }
+  }
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 45.0; d += 1.5) {
+    distances.push_back(d);
+    mutual_vals.push_back(0.03 + 0.7 * std::exp(-d / 7.0));
+  }
+  thermal::FastThermalModel model(
+      thermal::SelfResistanceTable(dims, dims, self_vals),
+      thermal::MutualResistanceTable(distances, mutual_vals), 45.0, {});
+  model.set_image_params(30.0, 30.0, 0.03);
+  return model;
+}
+
+TEST(Tap25dPopulation, ProducesLegalFloorplanAndRespectsBudget) {
+  const auto sys = sa_system();
+  ProxyEvaluator eval;  // exercises the default max_temperature_batch
+  Tap25dConfig config = quick_config(11);
+  config.population = 4;
+  config.anneal.max_evaluations = 300;
+  Tap25dPlanner planner(config);
+  const auto result = planner.plan(sys, eval);
+  EXPECT_TRUE(result.best.is_complete());
+  EXPECT_TRUE(result.best.is_legal());
+  EXPECT_GT(result.stats.evaluations, 0);
+  // The round in flight when the budget trips may finish scoring its K
+  // candidates; +2 for the final reporting evaluations.
+  EXPECT_LE(eval.num_evaluations(),
+            300 + static_cast<long>(config.population) + 2);
+}
+
+TEST(Tap25dPopulation, DeterministicGivenSeedAndThreadCountIndependent) {
+  const auto sys = sa_system();
+  const auto model = population_model();
+  const auto run = [&](std::size_t threads) {
+    thermal::FastModelEvaluator eval(model);
+    Tap25dConfig config = quick_config(12);
+    config.population = 5;
+    config.batch_threads = threads;
+    Tap25dPlanner planner(config);
+    return planner.plan(sys, eval);
+  };
+  const auto serial = run(0);
+  const auto threaded = run(3);
+  EXPECT_DOUBLE_EQ(serial.reward, threaded.reward);
+  EXPECT_EQ(serial.stats.evaluations, threaded.stats.evaluations);
+  EXPECT_EQ(serial.stats.accepted, threaded.stats.accepted);
+  for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+    EXPECT_EQ(serial.best.placement(i), threaded.best.placement(i));
+  }
+}
+
+TEST(Tap25dPopulation, NoWorseThanInitialPlacement) {
+  const auto sys = sa_system();
+  const auto model = population_model();
+  const RewardCalculator rc;
+  const bump::BumpAssigner ba;
+  rl::EnvConfig ff;
+  ff.grid = 64;
+  const Floorplan initial = rl::first_fit_floorplan(sys, ff);
+  thermal::FastModelEvaluator eval_init(model);
+  const double initial_reward =
+      rc.reward(ba.assign(sys, initial).total_mm,
+                eval_init.max_temperature(sys, initial));
+
+  thermal::FastModelEvaluator eval(model);
+  Tap25dConfig config = quick_config(13);
+  config.population = 4;
+  Tap25dPlanner planner(config);
+  const auto result = planner.plan(sys, eval);
+  EXPECT_GE(result.reward, initial_reward);
+}
+
+TEST(Tap25dPopulation, RejectsZeroPopulation) {
+  Tap25dConfig config;
+  config.population = 0;
+  EXPECT_THROW(Tap25dPlanner{config}, std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rlplan::sa

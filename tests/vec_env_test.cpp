@@ -189,6 +189,78 @@ TEST(VecEnv, IncrementalEvaluatorClonesMatchBatchEvaluator) {
   EXPECT_NEAR(incr_reward, batch_reward, 1e-9);
 }
 
+TEST(VecEnv, BatchedScoringMatchesPerEnvEvaluation) {
+  // score_floorplans()/score_replicas() route every candidate through ONE
+  // SoA-batched thermal call; the metrics must equal what each replica's own
+  // evaluate_floorplan() reports, for any thread count.
+  const auto sys = small_system();
+  std::vector<double> dims{2.0, 8.0, 14.0};
+  std::vector<std::vector<double>> self_vals(3, std::vector<double>(3, 0.0));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      self_vals[i][j] = 2.0 / (1.0 + 0.05 * dims[i] * dims[j]);
+    }
+  }
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 50.0; d += 2.0) {
+    distances.push_back(d);
+    mutual_vals.push_back(0.03 + 0.7 * std::exp(-d / 6.0));
+  }
+  thermal::FastThermalModel model(
+      thermal::SelfResistanceTable(dims, dims, self_vals),
+      thermal::MutualResistanceTable(distances, mutual_vals), 45.0, {});
+  model.set_image_params(32.0, 32.0, 0.03);
+
+  thermal::FastModelEvaluator proto(model);
+  VecEnv venv(sys, proto, RewardCalculator{}, bump::BumpAssigner{},
+              {.grid = 16}, 3, 99);
+
+  // Run every replica to a complete episode (greedy first-feasible action).
+  for (std::size_t i = 0; i < venv.size(); ++i) {
+    rl::FloorplanEnv& env = venv.env(i);
+    env.reset();
+    while (!env.done()) {
+      std::size_t action = i;  // small per-replica variation
+      while (env.action_mask()[action % env.num_actions()] == 0) ++action;
+      env.step(action % env.num_actions());
+    }
+    ASSERT_TRUE(env.floorplan().is_complete());
+  }
+
+  std::vector<Floorplan> fps;
+  for (std::size_t i = 0; i < venv.size(); ++i) {
+    fps.push_back(venv.env(i).floorplan());
+  }
+  const auto batched = venv.score_floorplans(fps);
+  ThreadPool pool(2);
+  const auto pooled = venv.score_floorplans(fps, &pool);
+  const auto replicas = venv.score_replicas();
+  ASSERT_EQ(batched.size(), venv.size());
+  for (std::size_t i = 0; i < venv.size(); ++i) {
+    const auto direct = venv.env(i).evaluate_floorplan(fps[i]);
+    ASSERT_TRUE(batched[i].valid);
+    EXPECT_NEAR(batched[i].temperature_c, direct.temperature_c, 1e-9);
+    EXPECT_NEAR(batched[i].wirelength_mm, direct.wirelength_mm, 1e-9);
+    EXPECT_NEAR(batched[i].reward, direct.reward, 1e-9);
+    // Thread fan-out never changes the numbers.
+    EXPECT_EQ(pooled[i].temperature_c, batched[i].temperature_c);
+    // score_replicas reads the same terminal floorplans.
+    ASSERT_TRUE(replicas[i].valid);
+    EXPECT_EQ(replicas[i].temperature_c, batched[i].temperature_c);
+    EXPECT_EQ(replicas[i].reward, batched[i].reward);
+  }
+
+  // Incomplete replicas come back invalid instead of throwing.
+  venv.env(0).reset();
+  const auto partial = venv.score_replicas();
+  EXPECT_FALSE(partial[0].valid);
+  EXPECT_TRUE(partial[1].valid);
+  // ...but explicitly scoring an incomplete floorplan is a caller bug.
+  EXPECT_THROW(venv.score_floorplans(
+                   std::vector<Floorplan>{venv.env(0).floorplan()}),
+               std::logic_error);
+}
+
 // ------------------------------------------------------------ Collector ----
 
 struct TrajectoryStep {

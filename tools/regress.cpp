@@ -20,12 +20,21 @@
 //           [--perf-scale=X]   scale throughput floors (0 disables; use on
 //                              sanitizer/debug builds where wall time is
 //                              meaningless)
+//           [--sa-population=K] score K SA perturbations per round through
+//                              the batched SoA thermal kernel (default 1 =
+//                              classic incremental-protocol anneal)
 //           [--list]           print the suite and exit
+//
+// Both legs' best floorplans are additionally re-scored on the fast model
+// through ONE FastThermalModel::evaluate_batch() call per scenario; the
+// resulting fast_temp_c lands next to the grid-truth temp_c in the JSON
+// report, tracking the surrogate's per-scenario fidelity over time.
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,11 +64,13 @@ struct LegResult {
   bool ran = false;
   bool legal = false;
   double temp_c = 0.0;          ///< ground-truth peak temperature
+  double fast_temp_c = 0.0;     ///< fast-model peak (batched SoA scoring)
   double wirelength_mm = 0.0;   ///< microbump wirelength
   double reward = 0.0;
   double throughput = 0.0;      ///< SA: evals/s, RL: env steps/s
   long work = 0;                ///< SA: evaluations, RL: env steps
   double seconds = 0.0;
+  std::optional<Floorplan> best;  ///< the floorplan behind the scores
 };
 
 struct ScenarioResult {
@@ -112,13 +123,18 @@ class ModelCache {
 
 LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
                      const thermal::FastThermalModel& model,
-                     const thermal::LayerStack& stack) {
+                     const thermal::LayerStack& stack,
+                     std::size_t sa_population) {
   sa::Tap25dConfig tc;
   tc.anneal.max_evaluations = scenario.budget.sa_evaluations;
   tc.anneal.moves_per_temperature = scenario.budget.sa_moves_per_temperature;
   tc.anneal.cooling = scenario.budget.sa_cooling;
   tc.anneal.t_final = 1e-5;
   tc.seed = scenario.seed;
+  // Population mode batches inside a scenario; scenario-level parallelism
+  // already saturates the pool, so the batch itself stays on this lane.
+  tc.population = sa_population;
+  tc.batch_threads = 0;
   sa::Tap25dPlanner planner(tc);
   thermal::IncrementalFastModelEvaluator evaluator(model);
   const RewardCalculator rc;
@@ -137,6 +153,7 @@ LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
   thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
   leg.temp_c = truth.solve(system, result.best).max_temp_c;
   leg.reward = rc.reward(leg.wirelength_mm, leg.temp_c);
+  leg.best = result.best;
   return leg;
 }
 
@@ -164,8 +181,30 @@ LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
     leg.wirelength_mm = result.final_wirelength_mm;
     leg.temp_c = result.final_temperature_c;  // ground-truth scored inside
     leg.reward = result.final_reward;
+    leg.best = result.best;
   }
   return leg;
+}
+
+/// Re-scores every leg's best floorplan on the fast model through one
+/// batched SoA call — the surrogate-vs-truth fidelity column of the report.
+void score_legs_fast(const ChipletSystem& system,
+                     const thermal::FastThermalModel& model,
+                     std::vector<LegResult*> legs) {
+  std::vector<Floorplan> candidates;
+  std::vector<LegResult*> owners;
+  for (LegResult* leg : legs) {
+    if (leg->ran && leg->best.has_value()) {
+      candidates.push_back(*leg->best);
+      owners.push_back(leg);
+    }
+  }
+  if (candidates.empty()) return;
+  const auto results = model.evaluate_batch(
+      system, std::span<const Floorplan>(candidates));
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    owners[i]->fast_temp_c = results[i].max_temp_c;
+  }
 }
 
 void check_leg(const char* tag, const LegResult& leg,
@@ -201,7 +240,7 @@ void check_leg(const char* tag, const LegResult& leg,
 
 ScenarioResult run_scenario(const Scenario& scenario, ModelCache& models,
                             const thermal::LayerStack& stack,
-                            double perf_scale) {
+                            double perf_scale, std::size_t sa_population) {
   ScenarioResult r;
   r.name = scenario.name;
   try {
@@ -210,7 +249,7 @@ ScenarioResult run_scenario(const Scenario& scenario, ModelCache& models,
     const thermal::FastThermalModel& model = models.get(
         system.interposer_width(), system.interposer_height());
     if (scenario.budget.run_sa) {
-      r.sa = run_sa_leg(scenario, system, model, stack);
+      r.sa = run_sa_leg(scenario, system, model, stack, sa_population);
       check_leg("sa", r.sa, scenario.envelope,
                 scenario.envelope.min_sa_evals_per_sec, perf_scale,
                 r.failures);
@@ -221,6 +260,7 @@ ScenarioResult run_scenario(const Scenario& scenario, ModelCache& models,
                 scenario.envelope.min_rl_steps_per_sec, perf_scale,
                 r.failures);
     }
+    score_legs_fast(system, model, {&r.sa, &r.rl});
   } catch (const std::exception& e) {
     r.error = e.what();
   }
@@ -231,6 +271,7 @@ util::JsonValue leg_to_json(const LegResult& leg) {
   util::JsonValue j = util::JsonValue::make_object();
   j.set("legal", leg.legal);
   j.set("temp_c", leg.temp_c);
+  j.set("fast_temp_c", leg.fast_temp_c);
   j.set("wirelength_mm", leg.wirelength_mm);
   j.set("reward", leg.reward);
   j.set("work", leg.work);
@@ -280,6 +321,8 @@ int main(int argc, char** argv) {
   const std::string filter = bench::flag_str(argc, argv, "filter", "");
   const double perf_scale =
       bench::flag_double(argc, argv, "perf-scale", 1.0);
+  const auto sa_population = static_cast<std::size_t>(
+      bench::flag_int(argc, argv, "sa-population", 1));
   auto threads = static_cast<std::size_t>(bench::flag_int(
       argc, argv, "threads",
       static_cast<long>(parallel::ThreadPool::hardware_threads())));
@@ -319,7 +362,8 @@ int main(int argc, char** argv) {
       1, std::min(threads, suite.size()));
   parallel::ThreadPool pool(lanes);
   pool.parallel_for(suite.size(), [&](std::size_t i) {
-    results[i] = run_scenario(suite[i], models, stack, perf_scale);
+    results[i] = run_scenario(suite[i], models, stack, perf_scale,
+                              sa_population);
     const ScenarioResult& r = results[i];
     std::fprintf(stderr, "[regress] %-24s %s\n", r.name.c_str(),
                  r.error.empty() && r.failures.empty() ? "ok" : "FAIL");
