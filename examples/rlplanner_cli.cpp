@@ -10,6 +10,11 @@
 //     --seed=S
 //     --envs=N           parallel env replicas for RL  (default 1 = legacy)
 //     --threads=N        rollout worker threads        (default 0 = auto)
+//     --checkpoint=FILE  RL: write a full-state RLPNNv2 checkpoint here
+//                        (at the end, plus every --checkpoint-every epochs)
+//     --checkpoint-every=K   periodic checkpoint cadence (default 0 = end)
+//     --resume=FILE      RL: restore a full-state checkpoint and continue
+//                        training bit-exactly where it stopped
 //
 // With no arguments, runs on a built-in demo system so the tool is
 // self-contained. Example system file (see src/systems/io.h):
@@ -21,10 +26,13 @@
 //   net cpu gpu 256
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "rl/planner.h"
+#include "rl/session.h"
 #include "sa/tap25d.h"
 #include "systems/io.h"
 #include "systems/scenario.h"
@@ -62,7 +70,9 @@ std::string option(int argc, char** argv, const char* name,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_cli(int argc, char** argv) {
   // Load the problem: a line-oriented system file, or — when the path ends
   // in .json — a scenario file (its builtin/family/inline system is built;
   // budgets and envelopes are the regress tool's business, not the CLI's).
@@ -106,18 +116,57 @@ int main(int argc, char** argv) {
   if (method == "first-fit") {
     best = rl::first_fit_floorplan(system, {.grid = 64});
   } else if (method == "rl" || method == "rl-rnd") {
-    rl::RlPlannerConfig config;
+    // The quickstart path runs on the TrainingSession engine directly so
+    // checkpoint/resume exercise the exact lifecycle tools/train.cpp uses.
+    const std::string checkpoint = option(argc, argv, "checkpoint", "");
+    const std::string resume = option(argc, argv, "resume", "");
+    const int checkpoint_every =
+        std::stoi(option(argc, argv, "checkpoint-every", "0"));
+
+    thermal::CharacterizationConfig cc;
+    thermal::ThermalCharacterizer charac(stack, cc);
+    thermal::FastThermalModel model = charac.characterize(
+        system.interposer_width(), system.interposer_height());
+
+    rl::TrainingSessionConfig config;
     config.env.grid = grid;
     config.net.grid = grid;
-    config.epochs = epochs;
     config.ppo.adam.lr = 1e-3f;
     config.ppo.use_rnd = method == "rl-rnd";
     config.seed = seed;
     config.num_envs = envs;
     config.num_threads = threads;
-    rl::RlPlanner planner(config);
-    const auto result = planner.plan(system, stack);
-    best = *result.best;
+    std::vector<rl::SessionTask> tasks;
+    tasks.push_back(
+        {system.name(), &system,
+         std::make_unique<thermal::IncrementalFastModelEvaluator>(
+             std::move(model))});
+    rl::TrainingSession session(config, std::move(tasks));
+    if (!resume.empty()) {
+      // load_checkpoint rejects v1 weight-only files and any session/
+      // checkpoint mismatch with a descriptive runtime_error (caught below).
+      session.load_checkpoint(resume);
+      std::printf("resumed %s at epoch %d\n", resume.c_str(),
+                  session.epochs_completed());
+    }
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      session.train_epoch();
+      if (!checkpoint.empty() && checkpoint_every > 0 &&
+          (epoch + 1) % checkpoint_every == 0) {
+        session.save_checkpoint(checkpoint);
+      }
+    }
+    // Save before the final greedy decode so the checkpoint is a pure
+    // function of the training history (resume stays bit-exact vs. an
+    // uninterrupted run).
+    if (!checkpoint.empty()) {
+      session.save_checkpoint(checkpoint);
+      std::printf("checkpoint written to %s\n", checkpoint.c_str());
+    }
+    session.greedy_episode(0);
+    best = session.has_best(0)
+               ? session.best_floorplan(0)
+               : rl::first_fit_floorplan(system, {.grid = grid});
   } else if (method == "sa-fast" || method == "sa-solver") {
     sa::Tap25dConfig config;
     config.anneal.time_budget_s = budget;
@@ -153,4 +202,17 @@ int main(int argc, char** argv) {
   systems::write_floorplan_file(best, out);
   std::printf("floorplan written to %s\n", out.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Bad paths, malformed files, and checkpoint mismatches all surface as
+  // exceptions from the library; report them instead of std::terminate.
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,6 +1,9 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "nn/serialize.h"
 
 namespace rlplan::nn {
 
@@ -41,6 +44,29 @@ void Adam::step() {
 
 void Adam::zero_grad() {
   for (Parameter* p : params_) p->grad.fill(0.0f);
+}
+
+void Adam::save_state(StateWriter& w, const std::string& prefix) const {
+  w.u64(prefix + ".t", static_cast<std::uint64_t>(t_));
+  w.u64(prefix + ".params", params_.size());
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const std::string tag = prefix + "." + std::to_string(k);
+    w.tensor(tag + ".m", m_[k]);
+    w.tensor(tag + ".v", v_[k]);
+  }
+}
+
+void Adam::load_state(StateReader& r, const std::string& prefix) {
+  t_ = static_cast<long>(r.u64(prefix + ".t"));
+  const std::uint64_t count = r.u64(prefix + ".params");
+  if (count != params_.size()) {
+    throw std::runtime_error("Adam::load_state: parameter count mismatch");
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const std::string tag = prefix + "." + std::to_string(k);
+    r.tensor(tag + ".m", m_[k]);
+    r.tensor(tag + ".v", v_[k]);
+  }
 }
 
 double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {

@@ -2,11 +2,15 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "nn/layers.h"
 
 namespace rlplan::nn {
+
+class StateReader;
+class StateWriter;
 
 struct AdamConfig {
   float lr = 3e-4f;
@@ -29,6 +33,13 @@ class Adam {
   void set_lr(float lr) { config_.lr = lr; }
   float lr() const { return config_.lr; }
   long step_count() const { return t_; }
+
+  /// Full optimizer state (step count + first/second moments) as v2
+  /// checkpoint records under `prefix`. Restoring into an optimizer built
+  /// over the same parameter list resumes updates bit-exactly; shape
+  /// mismatches throw std::runtime_error.
+  void save_state(StateWriter& w, const std::string& prefix) const;
+  void load_state(StateReader& r, const std::string& prefix);
 
  private:
   std::vector<Parameter*> params_;

@@ -8,12 +8,122 @@
 
 namespace rlplan::parallel {
 
+CollectorStats collect_episodes(std::span<const EnvSlot> slots,
+                                rl::PolicyValueNet& net,
+                                std::size_t min_episodes,
+                                rl::RolloutBuffer& out, ThreadPool* pool,
+                                const EpisodeCallback& on_episode_end) {
+  CollectorStats stats;
+  if (min_episodes == 0 || slots.empty()) return stats;
+
+  const std::size_t n = slots.size();
+  const std::size_t c = rl::FloorplanEnv::kChannels;
+  const std::size_t g = slots[0].env->grid();
+  const std::size_t num_actions = slots[0].env->num_actions();
+
+  // Per-slot episode-in-flight transitions plus live flags.
+  std::vector<std::vector<rl::Transition>> pending(n);
+  std::vector<std::uint8_t> live(n, 0);
+  std::vector<std::size_t> live_index;
+  std::vector<std::size_t> actions;
+  std::vector<rl::StepOutcome> outcomes;
+
+  std::size_t episodes_started = 0;
+  for (std::size_t e = 0; e < n && episodes_started < min_episodes; ++e) {
+    slots[e].env->reset();
+    live[e] = 1;
+    ++episodes_started;
+  }
+
+  double reward_best = -std::numeric_limits<double>::infinity();
+  for (;;) {
+    live_index.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+      if (live[e]) live_index.push_back(e);
+    }
+    const std::size_t batch = live_index.size();
+    if (batch == 0) break;
+
+    // 1. Gather live observations into one [B, C, G, G] batch.
+    nn::Tensor states({batch, c, g, g});
+    const std::size_t stride = c * g * g;
+    for (std::size_t j = 0; j < batch; ++j) {
+      const auto obs = slots[live_index[j]].env->observation().data();
+      std::copy(obs.begin(), obs.end(),
+                states.data().begin() +
+                    static_cast<std::ptrdiff_t>(j * stride));
+    }
+
+    // 2. One batched forward for every live slot.
+    rl::PolicyValueNet::Output fwd = net.forward(states);
+
+    // 3. Sample one masked action per slot with its own RNG stream.
+    actions.resize(batch);
+    outcomes.assign(batch, rl::StepOutcome{});
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t e = live_index[j];
+      rl::FloorplanEnv& env = *slots[e].env;
+      const std::span<const float> logits_row(
+          fwd.logits.data().data() + j * num_actions, num_actions);
+      const rl::MaskedCategorical dist(logits_row, env.action_mask());
+      const std::size_t action = dist.sample(*slots[e].rng);
+      actions[j] = action;
+
+      rl::Transition tr;
+      tr.state = env.observation();
+      tr.mask = env.action_mask();
+      tr.action = action;
+      tr.log_prob = dist.log_prob(action);
+      tr.value = fwd.value.at(j, 0);
+      pending[e].push_back(std::move(tr));
+    }
+
+    // 4. Step every live slot. Each slot only touches its own env (+ cloned
+    //    evaluator), so pooled stepping is schedule-independent.
+    if (pool != nullptr) {
+      pool->parallel_for(batch, [&](std::size_t j) {
+        outcomes[j] = slots[live_index[j]].env->step(actions[j]);
+      });
+    } else {
+      for (std::size_t j = 0; j < batch; ++j) {
+        outcomes[j] = slots[live_index[j]].env->step(actions[j]);
+      }
+    }
+
+    // 5. Record outcomes and recycle finished slots, in slot order.
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t e = live_index[j];
+      const rl::StepOutcome& outcome = outcomes[j];
+      rl::Transition& tr = pending[e].back();
+      tr.reward_ext = static_cast<float>(outcome.reward);
+      tr.episode_end = outcome.done;
+      ++stats.steps;
+      if (!outcome.done) continue;
+
+      ++stats.episodes;
+      if (outcome.dead_end) ++stats.dead_ends;
+      stats.reward_sum += outcome.reward;
+      reward_best = std::max(reward_best, outcome.reward);
+      if (on_episode_end) on_episode_end(e, outcome);
+
+      for (auto& t : pending[e]) out.push(std::move(t));
+      pending[e].clear();
+
+      if (episodes_started < min_episodes) {
+        slots[e].env->reset();
+        ++episodes_started;
+      } else {
+        live[e] = 0;
+      }
+    }
+  }
+  stats.reward_best = stats.episodes > 0 ? reward_best : 0.0;
+  return stats;
+}
+
 ParallelRolloutCollector::ParallelRolloutCollector(VecEnv& venv,
                                                    ThreadPool& pool)
     : venv_(&venv), pool_(&pool) {
-  const std::size_t n = venv.size();
-  pending_.resize(n);
-  live_.assign(n, 0);
   // While a collector is alive, every nn forward (rollout batches here, PPO
   // minibatches in the trainer) fans its batch rows out over the pool.
   // Row-wise arithmetic is untouched, so results stay bit-identical. The
@@ -33,101 +143,13 @@ ParallelRolloutCollector::~ParallelRolloutCollector() {
 CollectorStats ParallelRolloutCollector::collect(
     rl::PolicyValueNet& net, std::size_t min_episodes, rl::RolloutBuffer& out,
     const EpisodeCallback& on_episode_end) {
-  CollectorStats stats;
-  if (min_episodes == 0) return stats;
-
-  const std::size_t n = venv_->size();
-  const std::size_t c = rl::FloorplanEnv::kChannels;
-  const std::size_t g = venv_->env(0).grid();
-  const std::size_t num_actions = venv_->env(0).num_actions();
-
-  std::fill(live_.begin(), live_.end(), 0);
-  for (auto& p : pending_) p.clear();
-
-  std::size_t episodes_started = 0;
-  for (std::size_t e = 0; e < n && episodes_started < min_episodes; ++e) {
-    venv_->env(e).reset();
-    live_[e] = 1;
-    ++episodes_started;
+  std::vector<EnvSlot> slots;
+  slots.reserve(venv_->size());
+  for (std::size_t e = 0; e < venv_->size(); ++e) {
+    slots.push_back({&venv_->env(e), &venv_->rng(e)});
   }
-
-  double reward_best = -std::numeric_limits<double>::infinity();
-  for (;;) {
-    live_index_.clear();
-    for (std::size_t e = 0; e < n; ++e) {
-      if (live_[e]) live_index_.push_back(e);
-    }
-    const std::size_t batch = live_index_.size();
-    if (batch == 0) break;
-
-    // 1. Gather live observations into one [B, C, G, G] batch.
-    nn::Tensor states({batch, c, g, g});
-    const std::size_t stride = c * g * g;
-    for (std::size_t j = 0; j < batch; ++j) {
-      const auto obs = venv_->env(live_index_[j]).observation().data();
-      std::copy(obs.begin(), obs.end(),
-                states.data().begin() + static_cast<std::ptrdiff_t>(j * stride));
-    }
-
-    // 2. One batched forward for every live replica.
-    rl::PolicyValueNet::Output fwd = net.forward(states);
-
-    // 3. Sample one masked action per replica with its own RNG stream.
-    actions_.resize(batch);
-    outcomes_.assign(batch, rl::StepOutcome{});
-    for (std::size_t j = 0; j < batch; ++j) {
-      const std::size_t e = live_index_[j];
-      rl::FloorplanEnv& env = venv_->env(e);
-      const std::span<const float> logits_row(
-          fwd.logits.data().data() + j * num_actions, num_actions);
-      const rl::MaskedCategorical dist(logits_row, env.action_mask());
-      const std::size_t action = dist.sample(venv_->rng(e));
-      actions_[j] = action;
-
-      rl::Transition tr;
-      tr.state = env.observation();
-      tr.mask = env.action_mask();
-      tr.action = action;
-      tr.log_prob = dist.log_prob(action);
-      tr.value = fwd.value.at(j, 0);
-      pending_[e].push_back(std::move(tr));
-    }
-
-    // 4. Step every live replica concurrently. Each replica only touches its
-    //    own env + cloned evaluator, so the result is schedule-independent.
-    pool_->parallel_for(batch, [&](std::size_t j) {
-      outcomes_[j] = venv_->env(live_index_[j]).step(actions_[j]);
-    });
-
-    // 5. Record outcomes and recycle finished replicas, in replica order.
-    for (std::size_t j = 0; j < batch; ++j) {
-      const std::size_t e = live_index_[j];
-      const rl::StepOutcome& outcome = outcomes_[j];
-      rl::Transition& tr = pending_[e].back();
-      tr.reward_ext = static_cast<float>(outcome.reward);
-      tr.episode_end = outcome.done;
-      ++stats.steps;
-      if (!outcome.done) continue;
-
-      ++stats.episodes;
-      if (outcome.dead_end) ++stats.dead_ends;
-      stats.reward_sum += outcome.reward;
-      reward_best = std::max(reward_best, outcome.reward);
-      if (on_episode_end) on_episode_end(e, outcome);
-
-      for (auto& t : pending_[e]) out.push(std::move(t));
-      pending_[e].clear();
-
-      if (episodes_started < min_episodes) {
-        venv_->env(e).reset();
-        ++episodes_started;
-      } else {
-        live_[e] = 0;
-      }
-    }
-  }
-  stats.reward_best = stats.episodes > 0 ? reward_best : 0.0;
-  return stats;
+  return collect_episodes(slots, net, min_episodes, out, pool_,
+                          on_episode_end);
 }
 
 }  // namespace rlplan::parallel

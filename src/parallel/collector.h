@@ -1,28 +1,35 @@
-// Parallel rollout collection: batched policy forwards over a VecEnv.
+// Rollout collection: batched policy forwards over environment replicas.
 //
-// One collect() call gathers at least `min_episodes` complete placement
-// episodes under the current policy:
+// collect_episodes() is the ONE experience-collection pipeline of the
+// training stack — the serial single-environment loop is simply the
+// one-slot, no-pool case. One call gathers at least `min_episodes` complete
+// placement episodes under the current policy:
 //
-//   while any replica is live:
-//     1. gather the [B, C, G, G] observations of the B live replicas
+//   while any slot is live:
+//     1. gather the [B, C, G, G] observations of the B live slots
 //     2. ONE batched PolicyValueNet forward (batch-parallelized over rows
-//        through the thread pool — see nn::set_batch_parallel_for)
-//     3. per replica: masked-categorical sample with the replica's own RNG
-//     4. step all B replicas concurrently via ThreadPool::parallel_for —
-//        this parallelizes the episode-end reward evaluation (microbump
-//        assignment + thermal model), the most expensive part of a step
-//     5. finished replicas flush their episode into the shared buffer
+//        through the thread pool when one is installed — see
+//        nn::set_batch_parallel_for)
+//     3. per slot: masked-categorical sample with the slot's own RNG stream
+//     4. step all B slots — concurrently via ThreadPool::parallel_for when a
+//        pool is given (parallelizing the episode-end reward evaluation:
+//        microbump assignment + thermal model, the most expensive part of a
+//        step), serially on the caller thread otherwise
+//     5. finished slots flush their episode into the shared buffer
 //        (episode-aligned: an episode's transitions are contiguous and
 //        terminated by episode_end, exactly what GAE expects), then reset
 //        for another episode or go idle once the quota is met
 //
-// Everything outside steps 2/4 runs on the caller thread in replica order,
-// so the produced rollout is a deterministic function of (policy weights,
-// VecEnv seed, num_envs) — independent of num_threads and thread timing.
+// Everything outside steps 2/4 runs on the caller thread in slot order, so
+// the produced rollout is a deterministic function of (policy weights, slot
+// RNG states, slot count) — independent of the pool's thread count and of
+// thread timing. With one slot the pipeline degenerates to the classic
+// sample-step loop: episodes run one after another through batch-1 forwards.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "nn/layers.h"
@@ -43,14 +50,34 @@ struct CollectorStats {
   double reward_best = 0.0;   ///< best terminal reward (valid iff episodes>0)
 };
 
+/// One environment replica plus its private action-sampling stream.
+struct EnvSlot {
+  rl::FloorplanEnv* env = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// Invoked on the caller thread, in deterministic slot order, right after
+/// slot `env_index` finishes an episode and before it resets;
+/// `slots[env_index].env` still holds the terminal floorplan/metrics.
+using EpisodeCallback =
+    std::function<void(std::size_t env_index, const rl::StepOutcome&)>;
+
+/// The unified collection pipeline documented above. Steps are fanned over
+/// `pool` when non-null, run serially otherwise; either way the result is
+/// identical. All slots must share one grid/action space. Appends the
+/// collected transitions to `out` and returns the aggregate statistics.
+CollectorStats collect_episodes(std::span<const EnvSlot> slots,
+                                rl::PolicyValueNet& net,
+                                std::size_t min_episodes,
+                                rl::RolloutBuffer& out, ThreadPool* pool,
+                                const EpisodeCallback& on_episode_end = {});
+
+/// Convenience wrapper binding collect_episodes() to a VecEnv's replicas and
+/// RNG streams. While alive, it also installs the pool as the nn batch
+/// executor so every forward (rollout batches here, PPO minibatches in the
+/// trainer) fans its batch rows out over the pool's workers.
 class ParallelRolloutCollector {
  public:
-  /// Invoked on the caller thread, in deterministic replica order, right
-  /// after replica `env_index` finishes an episode and before it resets;
-  /// `venv.env(env_index)` still holds the terminal floorplan/metrics.
-  using EpisodeCallback =
-      std::function<void(std::size_t env_index, const rl::StepOutcome&)>;
-
   /// `venv` and `pool` must outlive the collector.
   ParallelRolloutCollector(VecEnv& venv, ThreadPool& pool);
   ~ParallelRolloutCollector();
@@ -75,13 +102,6 @@ class ParallelRolloutCollector {
   /// Batch executor that was installed before this collector took over;
   /// restored by the destructor.
   nn::BatchParallelFor previous_executor_;
-
-  // Per-replica scratch, reused across collect() calls.
-  std::vector<std::vector<rl::Transition>> pending_;
-  std::vector<std::uint8_t> live_;
-  std::vector<std::size_t> live_index_;
-  std::vector<std::size_t> actions_;
-  std::vector<rl::StepOutcome> outcomes_;
 };
 
 }  // namespace rlplan::parallel

@@ -85,10 +85,7 @@ std::vector<rl::EpisodeMetrics> VecEnv::score_replicas(ThreadPool* pool) {
 }
 
 std::uint64_t VecEnv::derive_seed(std::uint64_t base, std::size_t index) {
-  SplitMix64 sm(base);
-  std::uint64_t s = 0;
-  for (std::size_t i = 0; i <= index; ++i) s = sm.next();
-  return s;
+  return derive_substream_seed(base, index);
 }
 
 }  // namespace rlplan::parallel

@@ -57,6 +57,7 @@ class VecEnv {
 
   /// Per-replica action-sampling stream (seeded with derive_seed(seed, i)).
   Rng& rng(std::size_t i) { return rngs_.at(i); }
+  const Rng& rng(std::size_t i) const { return rngs_.at(i); }
 
   thermal::ThermalEvaluator& evaluator(std::size_t i) {
     return *evaluators_.at(i);

@@ -1,12 +1,10 @@
 #include "rl/planner.h"
 
 #include <algorithm>
-#include <optional>
 #include <stdexcept>
+#include <utility>
 
-#include "parallel/collector.h"
-#include "parallel/thread_pool.h"
-#include "parallel/vec_env.h"
+#include "rl/session.h"
 #include "thermal/incremental.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -18,8 +16,10 @@ RlPlanner::RlPlanner(RlPlannerConfig config) : config_(std::move(config)) {}
 PlannerResult RlPlanner::plan(const ChipletSystem& system,
                               const thermal::LayerStack& stack) {
   if (config_.backend == ThermalBackend::kGridSolver) {
-    thermal::GridSolverEvaluator evaluator(stack, config_.solver);
-    return run(system, stack, evaluator, 0.0);
+    return run(system, stack,
+               std::make_unique<thermal::GridSolverEvaluator>(stack,
+                                                              config_.solver),
+               0.0);
   }
   const Timer timer;
   thermal::ThermalCharacterizer characterizer(stack,
@@ -30,53 +30,49 @@ PlannerResult RlPlanner::plan(const ChipletSystem& system,
   // The incremental evaluator caches pairwise couplings as the env places
   // dies step by step; it produces the same temperatures as the batch
   // FastModelEvaluator.
-  thermal::IncrementalFastModelEvaluator evaluator(std::move(model));
-  return run(system, stack, evaluator, charac_s);
+  return run(system, stack,
+             std::make_unique<thermal::IncrementalFastModelEvaluator>(
+                 std::move(model)),
+             charac_s);
 }
 
 PlannerResult RlPlanner::plan_with_model(const ChipletSystem& system,
                                          const thermal::LayerStack& stack,
                                          thermal::FastThermalModel model) {
-  thermal::IncrementalFastModelEvaluator evaluator(std::move(model));
-  return run(system, stack, evaluator, 0.0);
+  return run(system, stack,
+             std::make_unique<thermal::IncrementalFastModelEvaluator>(
+                 std::move(model)),
+             0.0);
 }
 
 PlannerResult RlPlanner::run(const ChipletSystem& system,
                              const thermal::LayerStack& stack,
-                             thermal::ThermalEvaluator& evaluator,
+                             std::unique_ptr<thermal::ThermalEvaluator>
+                                 evaluator,
                              double characterization_s) {
   PlannerResult result;
   result.characterization_s = characterization_s;
 
-  FloorplanEnv env(system, evaluator, RewardCalculator(config_.reward),
-                   bump::BumpAssigner(config_.bump), config_.env);
+  // Single-scenario session over the caller's system; num_envs == 1 runs
+  // the same unified collection pipeline serially, > 1 fans replicas over
+  // the session's thread pool (each replica gets a cloned evaluator).
+  TrainingSessionConfig sc;
+  sc.env = config_.env;
+  sc.net = config_.net;
+  sc.ppo = config_.ppo;
+  sc.reward = config_.reward;
+  sc.bump = config_.bump;
+  sc.num_envs = config_.num_envs;
+  sc.num_threads = config_.num_threads;
+  sc.seed = config_.seed;
+  sc.verbose = config_.verbose;
 
-  // num_envs == 1 keeps the legacy single-env loop; > 1 trains through the
-  // parallel rollout subsystem (each replica gets a cloned evaluator).
-  std::optional<parallel::ThreadPool> pool;
-  std::optional<parallel::VecEnv> venv;
-  std::optional<parallel::ParallelRolloutCollector> collector;
-  std::optional<PpoTrainer> trainer_storage;
-  if (config_.num_envs > 1) {
-    const std::size_t threads =
-        config_.num_threads > 0
-            ? config_.num_threads
-            : std::min(config_.num_envs,
-                       parallel::ThreadPool::hardware_threads());
-    pool.emplace(threads);
-    venv.emplace(system, evaluator, RewardCalculator(config_.reward),
-                 bump::BumpAssigner(config_.bump), config_.env,
-                 config_.num_envs, config_.seed);
-    collector.emplace(*venv, *pool);
-    trainer_storage.emplace(*collector, config_.net, config_.ppo);
-    if (config_.verbose) {
-      RLPLAN_INFO << "parallel rollouts: " << config_.num_envs << " envs, "
-                  << threads << " threads";
-    }
-  } else {
-    trainer_storage.emplace(env, config_.net, config_.ppo);
+  std::vector<SessionTask> tasks;
+  tasks.push_back({system.name(), &system, std::move(evaluator)});
+  TrainingSession session(sc, std::move(tasks));
+  if (config_.verbose && config_.num_envs > 1) {
+    RLPLAN_INFO << "parallel rollouts: " << config_.num_envs << " envs";
   }
-  PpoTrainer& trainer = *trainer_storage;
 
   const Timer timer;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -84,32 +80,26 @@ PlannerResult RlPlanner::run(const ChipletSystem& system,
         timer.seconds() >= config_.time_budget_s) {
       break;
     }
-    TrainStats stats = trainer.train_epoch();
+    TrainStats stats = session.train_epoch();
     ++result.epochs_run;
     if (config_.greedy_eval_every > 0 &&
         (epoch + 1) % config_.greedy_eval_every == 0) {
-      trainer.greedy_episode();
+      session.greedy_episode(0);
     }
-    if (config_.verbose) {
-      RLPLAN_INFO << "epoch " << epoch << ": mean_reward="
-                  << stats.mean_reward << " best=" << stats.best_reward
-                  << " entropy=" << stats.entropy
-                  << " dead_ends=" << stats.dead_ends;
-    }
-    result.history.push_back(stats);
+    result.history.push_back(std::move(stats));
   }
   // Final greedy decode often beats the best stochastic sample.
-  trainer.greedy_episode();
+  session.greedy_episode(0);
   result.train_s = timer.seconds();
-  result.env_steps = trainer.total_env_steps();
+  result.env_steps = session.total_env_steps();
 
-  if (!trainer.has_best()) {
+  if (!session.has_best(0)) {
     RLPLAN_WARN << "no complete episode sampled; falling back to first-fit";
     result.best = first_fit_floorplan(system, config_.env);
-    result.best_metrics = env.evaluate_floorplan(*result.best);
+    result.best_metrics = session.evaluate_floorplan(0, *result.best);
   } else {
-    result.best = trainer.best_floorplan();
-    result.best_metrics = trainer.best_metrics();
+    result.best = session.best_floorplan(0);
+    result.best_metrics = session.best_metrics(0);
   }
 
   // Ground-truth final evaluation (comparable across methods, as Table I

@@ -4,6 +4,10 @@
 // environment, the PPO(+RND) agent, and the thermal-aware reward calculator
 // (microbump assignment + injected thermal model), then trains for a given
 // number of epochs or wall-clock budget and returns the best floorplan found.
+// Training itself runs through the resumable TrainingSession engine
+// (rl/session.h) — the planner is a convenience shell that adds thermal
+// characterization, the epoch/time-budget loop, and ground-truth final
+// scoring on top of a single-scenario session.
 //
 // The thermal backend is selectable: kFastModel (the paper's configuration —
 // characterize once, evaluate cheaply every episode) or kGridSolver (ground
@@ -13,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -59,6 +64,10 @@ struct RlPlannerConfig {
   int epochs = 100;            ///< training epochs (collect+update cycles)
   double time_budget_s = 0.0;  ///< stop early when exceeded (0 = none)
   int greedy_eval_every = 10;  ///< greedy-decode cadence (0 = never)
+  /// THE authoritative seed: every stream the training engine consumes (net
+  /// init, PPO update shuffles, per-replica action sampling, RND) derives
+  /// from it — see the derivation table in util/rng.h. `ppo.seed` is
+  /// overridden with this value.
   std::uint64_t seed = 1;
   bool verbose = false;
 };
@@ -102,7 +111,7 @@ class RlPlanner {
  private:
   PlannerResult run(const ChipletSystem& system,
                     const thermal::LayerStack& stack,
-                    thermal::ThermalEvaluator& evaluator,
+                    std::unique_ptr<thermal::ThermalEvaluator> evaluator,
                     double characterization_s);
 
   RlPlannerConfig config_;

@@ -11,47 +11,20 @@
 
 namespace rlplan::rl {
 
-PpoTrainer::PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config,
-                       PpoConfig config)
-    : env_(&env),
-      config_(config),
+// --- PpoCore -----------------------------------------------------------------
+
+PpoCore::PpoCore(PolicyNetConfig net_config, PpoConfig config)
+    : config_(config),
       rng_(config.seed),
-      net_([&] {
-        net_config.grid = env.grid();
-        net_config.channels_in = FloorplanEnv::kChannels;
-        return net_config;
-      }(), rng_),
+      net_(net_config, rng_),
       optimizer_({}, config.adam) {
   optimizer_ = nn::Adam(net_.parameters(), config_.adam);
   if (config_.use_rnd) {
-    rnd_.emplace(FloorplanEnv::kChannels, env.grid(), config_.rnd, rng_);
-  }
-  intrinsic_scale_ = 1.0f;
-}
-
-PpoTrainer::PpoTrainer(parallel::ParallelRolloutCollector& collector,
-                       PolicyNetConfig net_config, PpoConfig config)
-    : PpoTrainer(collector.venv().env(0), net_config, config) {
-  collector_ = &collector;
-}
-
-const Floorplan& PpoTrainer::best_floorplan() const {
-  if (!best_floorplan_) {
-    throw std::logic_error("PpoTrainer: no complete episode seen yet");
-  }
-  return *best_floorplan_;
-}
-
-void PpoTrainer::consider_best(const EpisodeMetrics& metrics,
-                               const Floorplan& fp) {
-  if (!metrics.valid) return;
-  if (!best_floorplan_ || metrics.reward > best_metrics_.reward) {
-    best_floorplan_ = fp;
-    best_metrics_ = metrics;
+    rnd_.emplace(net_config.channels_in, net_config.grid, config_.rnd, rng_);
   }
 }
 
-void PpoTrainer::record_episode_reward(double reward) {
+void PpoCore::record_episode_reward(double reward) {
   // Welford running mean/M2 for reward normalization in update().
   ++rew_n_;
   const double delta = reward - rew_mean_;
@@ -59,103 +32,14 @@ void PpoTrainer::record_episode_reward(double reward) {
   rew_m2_ += delta * (reward - rew_mean_);
 }
 
-void PpoTrainer::collect(TrainStats& stats) {
-  buffer_.clear();
-  if (collector_) {
-    collect_parallel(stats);
-    return;
+void PpoCore::fill_intrinsic(RolloutBuffer& buffer) {
+  if (!rnd_) return;
+  for (auto& tr : buffer.mutable_steps()) {
+    tr.reward_int = rnd_->bonus(tr.state);
   }
-  double reward_sum = 0.0;
-  double reward_best = -1e300;
-
-  for (int ep = 0; ep < config_.episodes_per_update; ++ep) {
-    nn::Tensor obs = env_->reset();
-    bool done = false;
-    while (!done) {
-      // Batch-1 forward for action selection.
-      nn::Tensor batch = obs;
-      batch.reshape({1, obs.dim(0), obs.dim(1), obs.dim(2)});
-      PolicyValueNet::Output out = net_.forward(batch);
-
-      const std::vector<std::uint8_t> mask = env_->action_mask();
-      const MaskedCategorical dist(out.logits.data(), mask);
-      const std::size_t action = dist.sample(rng_);
-
-      Transition tr;
-      tr.state = obs;
-      tr.mask = mask;
-      tr.action = action;
-      tr.log_prob = dist.log_prob(action);
-      tr.value = out.value[0];
-      if (rnd_) tr.reward_int = rnd_->bonus(obs);
-
-      const StepOutcome outcome = env_->step(action);
-      ++total_env_steps_;
-      tr.reward_ext = static_cast<float>(outcome.reward);
-      tr.episode_end = outcome.done;
-      done = outcome.done;
-      if (!done) obs = env_->observation();
-
-      buffer_.push(std::move(tr));
-
-      if (outcome.done) {
-        ++stats.episodes;
-        if (outcome.dead_end) {
-          ++stats.dead_ends;
-        } else {
-          consider_best(env_->last_metrics(), env_->floorplan());
-        }
-        reward_sum += outcome.reward;
-        reward_best = std::max(reward_best, outcome.reward);
-        record_episode_reward(outcome.reward);
-      }
-    }
-  }
-  stats.steps = buffer_.size();
-  stats.mean_reward =
-      stats.episodes > 0 ? reward_sum / static_cast<double>(stats.episodes)
-                         : 0.0;
-  stats.best_reward = stats.episodes > 0 ? reward_best : 0.0;
 }
 
-void PpoTrainer::collect_parallel(TrainStats& stats) {
-  parallel::VecEnv& venv = collector_->venv();
-  // Clamp before the size_t conversion: a (mis)configured negative episode
-  // count must mean "collect nothing", as on the legacy path, not 2^64.
-  const auto episodes =
-      static_cast<std::size_t>(std::max(config_.episodes_per_update, 0));
-  const parallel::CollectorStats cstats = collector_->collect(
-      net_, episodes, buffer_,
-      [&](std::size_t env_index, const StepOutcome& outcome) {
-        if (!outcome.dead_end) {
-          FloorplanEnv& env = venv.env(env_index);
-          consider_best(env.last_metrics(), env.floorplan());
-        }
-        record_episode_reward(outcome.reward);
-      });
-  total_env_steps_ += static_cast<long>(cstats.steps);
-
-  // Fill RND bonuses after collection, in buffer (episode-contiguous) order.
-  // bonus() also folds each raw error into its running normalization stats,
-  // so this order is part of the deterministic contract — do not reorder or
-  // parallelize this loop.
-  if (rnd_) {
-    for (auto& tr : buffer_.mutable_steps()) {
-      tr.reward_int = rnd_->bonus(tr.state);
-    }
-  }
-
-  stats.steps = cstats.steps;
-  stats.episodes = cstats.episodes;
-  stats.dead_ends = cstats.dead_ends;
-  stats.mean_reward =
-      cstats.episodes > 0
-          ? cstats.reward_sum / static_cast<double>(cstats.episodes)
-          : 0.0;
-  stats.best_reward = cstats.reward_best;
-}
-
-void PpoTrainer::update(TrainStats& stats) {
+void PpoCore::update(RolloutBuffer& buffer, TrainStats& stats) {
   // Reward normalization: divide by the running std of episode rewards so
   // value targets are O(1) regardless of the objective's physical scale.
   if (config_.normalize_rewards && rew_n_ >= 2) {
@@ -163,19 +47,19 @@ void PpoTrainer::update(TrainStats& stats) {
     const double stddev = std::sqrt(var);
     const auto scale = static_cast<float>(
         1.0 / std::clamp(stddev, 1e-3, 1e9));
-    for (auto& tr : buffer_.mutable_steps()) {
+    for (auto& tr : buffer.mutable_steps()) {
       tr.reward_ext *= scale;
     }
   }
 
   GaeConfig gae = config_.gae;
   gae.intrinsic_coef = config_.intrinsic_coef * intrinsic_scale_;
-  buffer_.compute_advantages(gae);
+  buffer.compute_advantages(gae);
 
-  const std::size_t n = buffer_.size();
-  const std::size_t c = FloorplanEnv::kChannels;
-  const std::size_t g = env_->grid();
-  const std::size_t num_actions = env_->num_actions();
+  const std::size_t n = buffer.size();
+  const std::size_t c = net_.config().channels_in;
+  const std::size_t g = net_.config().grid;
+  const std::size_t num_actions = net_.num_actions();
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
@@ -194,7 +78,7 @@ void PpoTrainer::update(TrainStats& stats) {
 
       nn::Tensor batch({count, c, g, g});
       for (std::size_t b = 0; b < count; ++b) {
-        const Transition& tr = buffer_.step(order[start + b]);
+        const Transition& tr = buffer.step(order[start + b]);
         std::copy(tr.state.data().begin(), tr.state.data().end(),
                   batch.data().begin() +
                       static_cast<std::ptrdiff_t>(b * tr.state.numel()));
@@ -206,9 +90,9 @@ void PpoTrainer::update(TrainStats& stats) {
       const float inv_count = 1.0f / static_cast<float>(count);
 
       for (std::size_t b = 0; b < count; ++b) {
-        const Transition& tr = buffer_.step(order[start + b]);
-        const float adv = buffer_.advantages()[order[start + b]];
-        const float ret = buffer_.returns()[order[start + b]];
+        const Transition& tr = buffer.step(order[start + b]);
+        const float adv = buffer.advantages()[order[start + b]];
+        const float ret = buffer.returns()[order[start + b]];
 
         const std::span<const float> logits_row(
             out.logits.data().data() + b * num_actions, num_actions);
@@ -280,38 +164,166 @@ void PpoTrainer::update(TrainStats& stats) {
   // anneals so late training focuses on the extrinsic objective.
   if (rnd_) {
     std::vector<const nn::Tensor*> states;
-    states.reserve(buffer_.size());
-    for (const auto& tr : buffer_.steps()) states.push_back(&tr.state);
+    states.reserve(buffer.size());
+    for (const auto& tr : buffer.steps()) states.push_back(&tr.state);
     stats.rnd_error = rnd_->train(states, rng_);
     intrinsic_scale_ *= config_.intrinsic_decay;
   }
 }
 
+void PpoCore::save_state(nn::StateWriter& w) const {
+  auto& self = const_cast<PpoCore&>(*this);
+  // Net weights first: warm-start readers stop after this block.
+  nn::write_parameter_tensors(w, "net", self.net_.parameters());
+
+  const auto rng_state = rng_.state();
+  w.u64vec("core.update_rng", rng_state);
+  self.optimizer_.save_state(w, "core.adam");
+  w.f64("core.rew_mean", rew_mean_);
+  w.f64("core.rew_m2", rew_m2_);
+  w.u64("core.rew_n", static_cast<std::uint64_t>(rew_n_));
+  w.f32("core.intrinsic_scale", intrinsic_scale_);
+  w.u64("core.rnd_present", rnd_ ? 1 : 0);
+  if (rnd_) rnd_->save_state(w, "core.rnd");
+}
+
+void PpoCore::load_net_only(nn::StateReader& r) {
+  nn::read_parameter_tensors(r, "net", net_.parameters());
+}
+
+void PpoCore::load_state(nn::StateReader& r) {
+  load_net_only(r);
+
+  const auto rng_state = r.u64vec("core.update_rng");
+  if (rng_state.size() != 4) {
+    throw std::runtime_error("checkpoint: bad update RNG state size");
+  }
+  rng_.set_state({rng_state[0], rng_state[1], rng_state[2], rng_state[3]});
+  optimizer_.load_state(r, "core.adam");
+  rew_mean_ = r.f64("core.rew_mean");
+  rew_m2_ = r.f64("core.rew_m2");
+  rew_n_ = static_cast<long>(r.u64("core.rew_n"));
+  intrinsic_scale_ = r.f32("core.intrinsic_scale");
+  const bool rnd_present = r.u64("core.rnd_present") != 0;
+  if (rnd_present != rnd_.has_value()) {
+    throw std::runtime_error(
+        "checkpoint: RND configuration mismatch (use_rnd differs from the "
+        "checkpointed trainer)");
+  }
+  if (rnd_) rnd_->load_state(r, "core.rnd");
+}
+
+// --- PpoTrainer --------------------------------------------------------------
+
+PpoTrainer::PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config,
+                       PpoConfig config)
+    : env_(&env),
+      core_(
+          [&] {
+            net_config.grid = env.grid();
+            net_config.channels_in = FloorplanEnv::kChannels;
+            return net_config;
+          }(),
+          config),
+      action_rng_(derive_substream_seed(config.seed, 0)) {}
+
+PpoTrainer::PpoTrainer(parallel::ParallelRolloutCollector& collector,
+                       PolicyNetConfig net_config, PpoConfig config)
+    : PpoTrainer(collector.venv().env(0), net_config, config) {
+  collector_ = &collector;
+}
+
+const Floorplan& PpoTrainer::best_floorplan() const {
+  if (!best_floorplan_) {
+    throw std::logic_error("PpoTrainer: no complete episode seen yet");
+  }
+  return *best_floorplan_;
+}
+
+void PpoTrainer::consider_best(const EpisodeMetrics& metrics,
+                               const Floorplan& fp) {
+  if (!metrics.valid) return;
+  if (!best_floorplan_ || metrics.reward > best_metrics_.reward) {
+    best_floorplan_ = fp;
+    best_metrics_ = metrics;
+  }
+}
+
 TrainStats PpoTrainer::train_epoch() {
+  return run_ppo_epoch(
+      core_, collector_, env_, &action_rng_, buffer_, total_env_steps_,
+      [&](std::size_t env_index, const StepOutcome& outcome) {
+        if (!outcome.dead_end) {
+          FloorplanEnv& env =
+              collector_ ? collector_->venv().env(env_index) : *env_;
+          consider_best(env.last_metrics(), env.floorplan());
+        }
+      });
+}
+
+TrainStats run_ppo_epoch(PpoCore& core,
+                         parallel::ParallelRolloutCollector* collector,
+                         FloorplanEnv* serial_env, Rng* serial_rng,
+                         RolloutBuffer& buffer, long& total_env_steps,
+                         const EpisodeEndFn& on_episode_end) {
   TrainStats stats;
-  collect(stats);
-  if (!buffer_.empty()) update(stats);
+  buffer.clear();
+
+  const auto on_end = [&](std::size_t env_index, const StepOutcome& outcome) {
+    if (on_episode_end) on_episode_end(env_index, outcome);
+    core.record_episode_reward(outcome.reward);
+  };
+
+  // Clamp before the size_t conversion: a (mis)configured negative episode
+  // count must mean "collect nothing", not 2^64.
+  const auto episodes = static_cast<std::size_t>(
+      std::max(core.config().episodes_per_update, 0));
+  parallel::CollectorStats cstats;
+  if (collector != nullptr) {
+    cstats = collector->collect(core.net(), episodes, buffer, on_end);
+  } else {
+    const parallel::EnvSlot slot{serial_env, serial_rng};
+    cstats = parallel::collect_episodes({&slot, 1}, core.net(), episodes,
+                                        buffer, nullptr, on_end);
+  }
+  total_env_steps += static_cast<long>(cstats.steps);
+  core.fill_intrinsic(buffer);
+
+  stats.steps = cstats.steps;
+  stats.episodes = cstats.episodes;
+  stats.dead_ends = cstats.dead_ends;
+  stats.mean_reward =
+      cstats.episodes > 0
+          ? cstats.reward_sum / static_cast<double>(cstats.episodes)
+          : 0.0;
+  stats.best_reward = cstats.episodes > 0 ? cstats.reward_best : 0.0;
+
+  if (!buffer.empty()) core.update(buffer, stats);
   return stats;
 }
 
 EpisodeMetrics PpoTrainer::greedy_episode() {
-  nn::Tensor obs = env_->reset();
+  const EpisodeMetrics metrics = run_greedy_episode(*env_, core_.net());
+  if (metrics.valid) consider_best(metrics, env_->floorplan());
+  return metrics;
+}
+
+EpisodeMetrics run_greedy_episode(FloorplanEnv& env, PolicyValueNet& net) {
+  nn::Tensor obs = env.reset();
   bool done = false;
   bool dead_end = false;
   while (!done) {
     nn::Tensor batch = obs;
     batch.reshape({1, obs.dim(0), obs.dim(1), obs.dim(2)});
-    PolicyValueNet::Output out = net_.forward(batch);
-    const MaskedCategorical dist(out.logits.data(), env_->action_mask());
-    const StepOutcome outcome = env_->step(dist.argmax());
+    PolicyValueNet::Output out = net.forward(batch);
+    const MaskedCategorical dist(out.logits.data(), env.action_mask());
+    const StepOutcome outcome = env.step(dist.argmax());
     done = outcome.done;
     dead_end = outcome.dead_end;
-    if (!done) obs = env_->observation();
+    if (!done) obs = env.observation();
   }
   if (dead_end) return {};
-  const EpisodeMetrics metrics = env_->last_metrics();
-  consider_best(metrics, env_->floorplan());
-  return metrics;
+  return env.last_metrics();
 }
 
 }  // namespace rlplan::rl

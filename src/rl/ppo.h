@@ -1,19 +1,37 @@
-// Proximal Policy Optimization trainer (Schulman et al., 2017; paper
-// Section II-B) with optional RND intrinsic bonus.
+// Proximal Policy Optimization (Schulman et al., 2017; paper Section II-B)
+// with optional RND intrinsic bonus, split into
+//
+//   PpoCore    — the pure update core: policy/value net, Adam, optional RND,
+//                reward normalizer, intrinsic annealing, and the update RNG.
+//                Knows nothing about environments or how experience is
+//                collected; its entire mutable state is checkpointable
+//                (save_state/load_state, consumed by rl/session.h).
+//   PpoTrainer — a thin collection front end over one FloorplanEnv or a
+//                parallel rollout collector. Both configurations run the ONE
+//                unified pipeline (parallel::collect_episodes): the serial
+//                loop is simply the one-slot, no-pool case, sampling from
+//                the replica-0 action stream (util/rng.h seed contract).
 //
 // One train_epoch() = collect `episodes_per_update` complete placement
 // episodes under the current policy, then run `update_epochs` passes of
 // clipped-surrogate minibatch SGD (Adam) over the rollout. Policy gradients
-// flow through the masked softmax analytically (see update()), so masked
-// actions receive exactly zero gradient.
+// flow through the masked softmax analytically (see PpoCore::update()), so
+// masked actions receive exactly zero gradient.
+//
+// Multi-scenario curriculum training, full-state checkpointing, and resume
+// live one layer up in TrainingSession (rl/session.h), which drives a
+// PpoCore directly.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/floorplan.h"
 #include "nn/optim.h"
+#include "nn/serialize.h"
 #include "rl/env.h"
 #include "rl/policy_net.h"
 #include "rl/rnd.h"
@@ -22,6 +40,7 @@
 
 namespace rlplan::parallel {
 class ParallelRolloutCollector;
+struct CollectorStats;
 }  // namespace rlplan::parallel
 
 namespace rlplan::rl {
@@ -49,10 +68,17 @@ struct PpoConfig {
   /// objective's physical units (wirelength in mm produces rewards of
   /// wildly different magnitudes across benchmarks).
   bool normalize_rewards = true;
+  /// Master seed when the trainer is built standalone. RlPlanner and
+  /// TrainingSession overwrite this with their own authoritative seed — see
+  /// the derivation table in util/rng.h.
   std::uint64_t seed = 1;
 };
 
 struct TrainStats {
+  /// Scenario the epoch trained on (curriculum tag; empty for
+  /// single-scenario trainers). Keeps mixed-scenario reward scales from
+  /// being averaged into one meaningless mean downstream.
+  std::string scenario;
   double mean_reward = 0.0;  ///< mean terminal extrinsic reward this epoch
   double best_reward = 0.0;  ///< best terminal reward this epoch
   double policy_loss = 0.0;
@@ -66,17 +92,74 @@ struct TrainStats {
   std::size_t dead_ends = 0;
 };
 
+/// Pure PPO update core over a fixed network architecture. Contains no
+/// environment or collection logic; everything it mutates is covered by
+/// save_state()/load_state(), which is what makes training resumable.
+class PpoCore {
+ public:
+  /// `net_config.grid` and `net_config.channels_in` must be final — they fix
+  /// the observation/action space the core updates over.
+  PpoCore(PolicyNetConfig net_config, PpoConfig config);
+
+  PolicyValueNet& net() { return net_; }
+  const PpoConfig& config() const { return config_; }
+  bool has_rnd() const { return rnd_.has_value(); }
+  long optimizer_steps() const { return optimizer_.step_count(); }
+
+  /// Folds one terminal episode reward into the running normalizer
+  /// (Welford). Called by the collection front end, once per episode, in
+  /// collection order — the order is part of the deterministic contract.
+  void record_episode_reward(double reward);
+
+  /// Fills Transition::reward_int for every buffered step, in buffer
+  /// (episode-contiguous) order. bonus() also folds each raw error into the
+  /// RND normalization stats, so this order is part of the deterministic
+  /// contract — do not reorder or parallelize. No-op without RND.
+  void fill_intrinsic(RolloutBuffer& buffer);
+
+  /// One PPO update pass (reward normalization, GAE, `update_epochs` x
+  /// minibatch clipped-surrogate SGD, RND predictor training + intrinsic
+  /// annealing) over the collected buffer. Fills the loss/entropy/grad
+  /// fields of `stats`.
+  void update(RolloutBuffer& buffer, TrainStats& stats);
+
+  /// Serializes, in order: net weights, then the full update state (update
+  /// RNG, Adam moments + step count, reward normalizer, intrinsic scale, RND
+  /// block). Net weights lead so weight-only (warm-start) readers can stop
+  /// after them.
+  void save_state(nn::StateWriter& w) const;
+  void load_state(nn::StateReader& r);
+  /// Reads only the leading net-weights block of a v2 core state (the
+  /// warm-start path: fine-tune from a checkpoint with fresh optimizer,
+  /// normalizer, and RNG state).
+  void load_net_only(nn::StateReader& r);
+
+ private:
+  PpoConfig config_;
+  Rng rng_;  ///< net init, then minibatch + RND shuffling (seed contract)
+  PolicyValueNet net_;
+  std::optional<RndBonus> rnd_;
+  nn::Adam optimizer_;
+  float intrinsic_scale_ = 1.0f;
+  // Running std of episode rewards for reward normalization (Welford).
+  double rew_mean_ = 0.0;
+  double rew_m2_ = 0.0;
+  long rew_n_ = 0;
+};
+
+/// Single-scenario trainer: one env (or one VecEnv collector) + a PpoCore.
 class PpoTrainer {
  public:
-  /// `env` must outlive the trainer.
+  /// `env` must outlive the trainer. Experience is collected through the
+  /// unified pipeline with one slot; actions sample from the replica-0
+  /// stream derived from `config.seed`.
   PpoTrainer(FloorplanEnv& env, PolicyNetConfig net_config, PpoConfig config);
 
-  /// Collects experience through a parallel rollout collector instead of the
-  /// single-env loop: batched policy forwards over all live replicas, env
-  /// steps fanned out over the collector's thread pool, per-replica RNG
-  /// streams (see src/parallel/). Greedy evaluation and best-floorplan
-  /// tracking use the collector's replicas. `collector` must outlive the
-  /// trainer.
+  /// Collects experience through a parallel rollout collector: batched
+  /// policy forwards over all live replicas, env steps fanned out over the
+  /// collector's thread pool, per-replica RNG streams (see src/parallel/).
+  /// Greedy evaluation and best-floorplan tracking use the collector's
+  /// replicas. `collector` must outlive the trainer.
   PpoTrainer(parallel::ParallelRolloutCollector& collector,
              PolicyNetConfig net_config, PpoConfig config);
 
@@ -92,34 +175,46 @@ class PpoTrainer {
   /// the best floorplan if the greedy result improves on it.
   EpisodeMetrics greedy_episode();
 
-  PolicyValueNet& net() { return net_; }
-  const PpoConfig& config() const { return config_; }
+  PpoCore& core() { return core_; }
+  PolicyValueNet& net() { return core_.net(); }
+  const PpoConfig& config() const { return core_.config(); }
   long total_env_steps() const { return total_env_steps_; }
 
  private:
-  void collect(TrainStats& stats);
-  void collect_parallel(TrainStats& stats);
-  void update(TrainStats& stats);
   void consider_best(const EpisodeMetrics& metrics, const Floorplan& fp);
-  void record_episode_reward(double reward);
 
   FloorplanEnv* env_;
   parallel::ParallelRolloutCollector* collector_ = nullptr;
-  PpoConfig config_;
-  Rng rng_;
-  PolicyValueNet net_;
-  std::optional<RndBonus> rnd_;
-  nn::Adam optimizer_;
+  PpoCore core_;
+  Rng action_rng_;  ///< serial action stream (= replica 0's derivation)
   RolloutBuffer buffer_;
-  float intrinsic_scale_ = 1.0f;
   long total_env_steps_ = 0;
-  // Running std of episode rewards for reward normalization (Welford).
-  double rew_mean_ = 0.0;
-  double rew_m2_ = 0.0;
-  long rew_n_ = 0;
 
   std::optional<Floorplan> best_floorplan_;
   EpisodeMetrics best_metrics_{};
 };
+
+/// One greedy (argmax) episode on `env` under `net`. Returns the terminal
+/// metrics, or a default-constructed (invalid) result on a dead end.
+/// Consumes no RNG. Shared by PpoTrainer and TrainingSession.
+EpisodeMetrics run_greedy_episode(FloorplanEnv& env, PolicyValueNet& net);
+
+/// Episode-end hook, invoked in deterministic collection order with the env
+/// index that finished (same contract as the collection pipeline's
+/// callback; the terminal env still holds its floorplan/metrics).
+using EpisodeEndFn =
+    std::function<void(std::size_t env_index, const StepOutcome& outcome)>;
+
+/// THE collect -> stats -> update epoch pipeline shared by PpoTrainer and
+/// TrainingSession: clears `buffer`, collects `core.config()`'s
+/// episodes_per_update episodes (through `collector` when non-null,
+/// otherwise serially from `serial_env` sampling with `serial_rng`), fills
+/// RND intrinsic bonuses, folds collection statistics, advances
+/// `total_env_steps`, and runs the PPO update over the buffer.
+TrainStats run_ppo_epoch(PpoCore& core,
+                         parallel::ParallelRolloutCollector* collector,
+                         FloorplanEnv* serial_env, Rng* serial_rng,
+                         RolloutBuffer& buffer, long& total_env_steps,
+                         const EpisodeEndFn& on_episode_end);
 
 }  // namespace rlplan::rl

@@ -1,0 +1,485 @@
+#include "rl/session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "parallel/collector.h"
+#include "parallel/thread_pool.h"
+#include "parallel/vec_env.h"
+#include "util/log.h"
+
+namespace rlplan::rl {
+
+namespace {
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_f64(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string task_tag(std::size_t i) {
+  return "task." + std::to_string(i);
+}
+
+}  // namespace
+
+/// Per-task mutable training state: the replica(s), their action streams,
+/// and the best floorplan sampled so far.
+struct TrainingSession::TaskRuntime {
+  std::optional<FloorplanEnv> env;  ///< num_envs == 1
+  Rng action_rng{0};                ///< serial action stream (replica 0)
+  std::optional<parallel::VecEnv> venv;  ///< num_envs > 1
+  std::optional<Floorplan> best;
+  EpisodeMetrics best_metrics{};
+};
+
+TrainingSession::TrainingSession(TrainingSessionConfig config,
+                                 std::vector<SessionTask> tasks)
+    : config_([&] {
+        // One authoritative seed: ppo.seed is overridden so PpoCore's
+        // net-init/update stream derives from the session seed, exactly as
+        // documented in util/rng.h.
+        config.ppo.seed = config.seed;
+        config.net.grid = config.env.grid;
+        config.net.channels_in = FloorplanEnv::kChannels;
+        return config;
+      }()),
+      tasks_(std::move(tasks)),
+      core_(config_.net, config_.ppo),
+      curriculum_rng_(
+          derive_named_stream_seed(config_.seed, substream::kCurriculum)) {
+  if (tasks_.empty()) {
+    throw std::invalid_argument("TrainingSession: no tasks");
+  }
+  if (config_.num_envs == 0) {
+    throw std::invalid_argument("TrainingSession: num_envs must be >= 1");
+  }
+  for (const SessionTask& t : tasks_) {
+    if (t.system == nullptr || t.evaluator == nullptr) {
+      throw std::invalid_argument(
+          "TrainingSession: task '" + t.name +
+          "' is missing its system or evaluator");
+    }
+  }
+
+  if (config_.num_envs > 1) {
+    const std::size_t threads =
+        config_.num_threads > 0
+            ? config_.num_threads
+            : std::min(config_.num_envs,
+                       parallel::ThreadPool::hardware_threads());
+    pool_ = std::make_unique<parallel::ThreadPool>(threads);
+  }
+
+  runtimes_.reserve(tasks_.size());
+  for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
+    SessionTask& t = tasks_[ti];
+    // Per-task base seed (util/rng.h): task 0 uses the master seed directly
+    // (single-scenario sessions match RlPlanner / standalone PpoTrainer
+    // streams); later tasks derive independent bases so curriculum tasks
+    // never replay each other's action sequences.
+    const std::uint64_t task_seed =
+        ti == 0 ? config_.seed
+                : derive_named_stream_seed(config_.seed,
+                                           substream::kTaskBase + ti);
+    auto rt = std::make_unique<TaskRuntime>();
+    if (config_.num_envs == 1) {
+      rt->env.emplace(*t.system, *t.evaluator,
+                      RewardCalculator(config_.reward),
+                      bump::BumpAssigner(config_.bump), config_.env);
+      rt->action_rng = Rng(derive_substream_seed(task_seed, 0));
+    } else {
+      rt->venv.emplace(*t.system, *t.evaluator,
+                       RewardCalculator(config_.reward),
+                       bump::BumpAssigner(config_.bump), config_.env,
+                       config_.num_envs, task_seed);
+    }
+    runtimes_.push_back(std::move(rt));
+  }
+}
+
+TrainingSession::~TrainingSession() = default;
+
+FloorplanEnv& TrainingSession::primary_env(std::size_t i) {
+  TaskRuntime& rt = *runtimes_.at(i);
+  return rt.env ? *rt.env : rt.venv->env(0);
+}
+
+std::size_t TrainingSession::pick_task() {
+  if (tasks_.size() == 1) return 0;
+  if (config_.curriculum == CurriculumMode::kSampled) {
+    return curriculum_rng_.uniform_int(
+        static_cast<std::uint64_t>(tasks_.size()));
+  }
+  return static_cast<std::size_t>(epochs_completed_) % tasks_.size();
+}
+
+void TrainingSession::consider_best(TaskRuntime& rt,
+                                    const EpisodeMetrics& metrics,
+                                    const Floorplan& fp) {
+  if (!metrics.valid) return;
+  if (!rt.best || metrics.reward > rt.best_metrics.reward) {
+    rt.best = fp;
+    rt.best_metrics = metrics;
+  }
+}
+
+TrainStats TrainingSession::train_epoch() {
+  const std::size_t ti = pick_task();
+  TaskRuntime& rt = *runtimes_[ti];
+
+  // The scoped collector also installs the pool as the nn batch executor, so
+  // the PPO minibatch forwards inside run_ppo_epoch fan over the workers
+  // too; construction per epoch keeps executor install/restore strictly
+  // LIFO across tasks.
+  std::optional<parallel::ParallelRolloutCollector> collector;
+  if (rt.venv) collector.emplace(*rt.venv, *pool_);
+
+  TrainStats stats = run_ppo_epoch(
+      core_, collector ? &*collector : nullptr, rt.env ? &*rt.env : nullptr,
+      &rt.action_rng, buffer_, total_env_steps_,
+      [&](std::size_t env_index, const StepOutcome& outcome) {
+        if (!outcome.dead_end) {
+          FloorplanEnv& env = rt.env ? *rt.env : rt.venv->env(env_index);
+          consider_best(rt, env.last_metrics(), env.floorplan());
+        }
+      });
+  stats.scenario = tasks_[ti].name;
+  ++epochs_completed_;
+
+  if (config_.verbose) {
+    RLPLAN_INFO << "epoch " << (epochs_completed_ - 1) << " ["
+                << stats.scenario << "]: mean_reward=" << stats.mean_reward
+                << " best=" << stats.best_reward
+                << " entropy=" << stats.entropy
+                << " dead_ends=" << stats.dead_ends;
+  }
+  return stats;
+}
+
+bool TrainingSession::has_best(std::size_t i) const {
+  return runtimes_.at(i)->best.has_value();
+}
+
+const Floorplan& TrainingSession::best_floorplan(std::size_t i) const {
+  const TaskRuntime& rt = *runtimes_.at(i);
+  if (!rt.best) {
+    throw std::logic_error("TrainingSession: no complete episode on task '" +
+                           tasks_[i].name + "' yet");
+  }
+  return *rt.best;
+}
+
+const EpisodeMetrics& TrainingSession::best_metrics(std::size_t i) const {
+  return runtimes_.at(i)->best_metrics;
+}
+
+EpisodeMetrics TrainingSession::greedy_episode(std::size_t i) {
+  FloorplanEnv& env = primary_env(i);
+  const EpisodeMetrics metrics = run_greedy_episode(env, core_.net());
+  if (metrics.valid) {
+    consider_best(*runtimes_[i], metrics, env.floorplan());
+  }
+  return metrics;
+}
+
+EpisodeMetrics TrainingSession::evaluate_floorplan(std::size_t i,
+                                                   const Floorplan& fp) {
+  return primary_env(i).evaluate_floorplan(fp);
+}
+
+// --- Checkpointing -----------------------------------------------------------
+
+void TrainingSession::save_checkpoint(const std::string& path) const {
+  // Write-then-rename: a crash mid-save must never destroy the previous
+  // checkpoint (rename over the target is atomic on POSIX), especially when
+  // the target is the very file this session resumed from.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("TrainingSession: cannot open " + tmp_path);
+  }
+  nn::StateWriter w(os);
+
+  // Header.
+  w.u64("version", 2);
+  w.u64("grid", config_.net.grid);
+  w.u64("channels", config_.net.channels_in);
+  w.u64("num_envs", config_.num_envs);
+  w.u64("curriculum_mode", static_cast<std::uint64_t>(config_.curriculum));
+  // Trajectory-affecting PPO hyperparameters: a resume with different
+  // values would silently diverge from the advertised bit-exact
+  // continuation, so load_checkpoint validates them (warm start does not).
+  {
+    const PpoConfig& p = config_.ppo;
+    w.u64("ppo.episodes_per_update", static_cast<std::uint64_t>(
+                                         static_cast<std::int64_t>(
+                                             p.episodes_per_update)));
+    w.u64("ppo.update_epochs", static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(
+                                       p.update_epochs)));
+    w.u64("ppo.minibatch", p.minibatch);
+    w.f32("ppo.clip", p.clip);
+    w.f32("ppo.vf_coef", p.vf_coef);
+    w.f32("ppo.ent_coef", p.ent_coef);
+    w.f32("ppo.max_grad_norm", p.max_grad_norm);
+    w.f32("ppo.gamma", p.gae.gamma);
+    w.f32("ppo.lam", p.gae.lam);
+    w.f32("ppo.lr", p.adam.lr);
+    w.f32("ppo.beta1", p.adam.beta1);
+    w.f32("ppo.beta2", p.adam.beta2);
+    w.f32("ppo.eps", p.adam.eps);
+    w.f32("ppo.weight_decay", p.adam.weight_decay);
+    w.f32("ppo.intrinsic_coef", p.intrinsic_coef);
+    w.f32("ppo.intrinsic_decay", p.intrinsic_decay);
+    w.u64("ppo.normalize_rewards", p.normalize_rewards ? 1 : 0);
+    w.f32("ppo.rnd_predictor_lr", p.rnd.predictor_lr);
+    w.f32("ppo.rnd_bonus_clip", p.rnd.bonus_clip);
+    w.u64("ppo.rnd_train_batch", p.rnd.train_batch);
+  }
+  w.u64("num_tasks", tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    w.str(task_tag(i) + ".name", tasks_[i].name);
+  }
+
+  // Net weights + full core state.
+  core_.save_state(w);
+
+  // Session state.
+  w.u64("session.epochs_completed",
+        static_cast<std::uint64_t>(epochs_completed_));
+  w.u64("session.total_env_steps",
+        static_cast<std::uint64_t>(total_env_steps_));
+  w.u64vec("session.curriculum_rng", curriculum_rng_.state());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskRuntime& rt = *runtimes_[i];
+    const std::string tag = task_tag(i);
+    if (rt.env) {
+      w.u64vec(tag + ".action_rng", rt.action_rng.state());
+    } else {
+      for (std::size_t j = 0; j < config_.num_envs; ++j) {
+        w.u64vec(tag + ".rng." + std::to_string(j), rt.venv->rng(j).state());
+      }
+    }
+    w.u64(tag + ".best_present", rt.best ? 1 : 0);
+    if (rt.best) {
+      // Placements flattened as [placed, x bits, y bits, rotated] per
+      // chiplet; doubles as raw IEEE bits for exact round-trip.
+      std::vector<std::uint64_t> flat;
+      flat.reserve(rt.best->num_chiplets() * 4);
+      for (std::size_t k = 0; k < rt.best->num_chiplets(); ++k) {
+        const auto& p = rt.best->placement(k);
+        flat.push_back(p.has_value() ? 1 : 0);
+        flat.push_back(p ? f64_bits(p->position.x) : 0);
+        flat.push_back(p ? f64_bits(p->position.y) : 0);
+        flat.push_back(p && p->rotated ? 1 : 0);
+      }
+      w.u64vec(tag + ".best_placements", flat);
+      w.f64(tag + ".best_wirelength_mm", rt.best_metrics.wirelength_mm);
+      w.f64(tag + ".best_temperature_c", rt.best_metrics.temperature_c);
+      w.f64(tag + ".best_reward", rt.best_metrics.reward);
+    }
+  }
+  w.finish();
+  os.close();
+  if (!os) {
+    throw std::runtime_error("TrainingSession: write failed: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("TrainingSession: cannot rename " + tmp_path +
+                             " to " + path);
+  }
+}
+
+void TrainingSession::load_checkpoint(const std::string& path,
+                                      bool warm_start) {
+  // v1 files carry weights only, so they can never satisfy a full resume;
+  // requiring warm_start makes the API fail-safe instead of silently
+  // restarting optimizer/normalizer/RNG state under a resume banner.
+  if (nn::checkpoint_file_version(path) == 1) {
+    if (!warm_start) {
+      throw std::runtime_error(
+          "checkpoint: " + path + " is a v1 weight-only file; full-state "
+          "resume is impossible — load it with warm_start=true to restore "
+          "the weights only");
+    }
+    nn::load_parameters(core_.net().parameters(), path);
+    return;
+  }
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("TrainingSession: cannot open " + path);
+  }
+  nn::StateReader r(is);
+
+  // Header. Architecture must match in every mode (the weights below are
+  // meaningless otherwise); session shape only for full resume.
+  const std::uint64_t version = r.u64("version");
+  if (version != 2) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t grid = r.u64("grid");
+  const std::uint64_t channels = r.u64("channels");
+  if (grid != config_.net.grid || channels != config_.net.channels_in) {
+    throw std::runtime_error(
+        "checkpoint: network architecture mismatch (grid/channels)");
+  }
+  const std::uint64_t num_envs = r.u64("num_envs");
+  const std::uint64_t curriculum_mode = r.u64("curriculum_mode");
+  // PPO hyperparameters: always read (the record stream is sequential),
+  // validated only on full resume.
+  std::vector<std::string> ppo_mismatches;
+  const auto check_u64 = [&](const char* name, std::uint64_t expect) {
+    if (r.u64(name) != expect && !warm_start) {
+      ppo_mismatches.emplace_back(name);
+    }
+  };
+  const auto check_f32 = [&](const char* name, float expect) {
+    if (r.f32(name) != expect && !warm_start) {
+      ppo_mismatches.emplace_back(name);
+    }
+  };
+  {
+    const PpoConfig& p = config_.ppo;
+    check_u64("ppo.episodes_per_update",
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(p.episodes_per_update)));
+    check_u64("ppo.update_epochs",
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(p.update_epochs)));
+    check_u64("ppo.minibatch", p.minibatch);
+    check_f32("ppo.clip", p.clip);
+    check_f32("ppo.vf_coef", p.vf_coef);
+    check_f32("ppo.ent_coef", p.ent_coef);
+    check_f32("ppo.max_grad_norm", p.max_grad_norm);
+    check_f32("ppo.gamma", p.gae.gamma);
+    check_f32("ppo.lam", p.gae.lam);
+    check_f32("ppo.lr", p.adam.lr);
+    check_f32("ppo.beta1", p.adam.beta1);
+    check_f32("ppo.beta2", p.adam.beta2);
+    check_f32("ppo.eps", p.adam.eps);
+    check_f32("ppo.weight_decay", p.adam.weight_decay);
+    check_f32("ppo.intrinsic_coef", p.intrinsic_coef);
+    check_f32("ppo.intrinsic_decay", p.intrinsic_decay);
+    check_u64("ppo.normalize_rewards", p.normalize_rewards ? 1 : 0);
+    check_f32("ppo.rnd_predictor_lr", p.rnd.predictor_lr);
+    check_f32("ppo.rnd_bonus_clip", p.rnd.bonus_clip);
+    check_u64("ppo.rnd_train_batch", p.rnd.train_batch);
+  }
+  if (!ppo_mismatches.empty()) {
+    std::string joined;
+    for (const std::string& m : ppo_mismatches) {
+      if (!joined.empty()) joined += ", ";
+      joined += m;
+    }
+    throw std::runtime_error(
+        "checkpoint: PPO hyperparameter mismatch on resume (" + joined +
+        "); pass the same training configuration, or load with "
+        "warm_start=true");
+  }
+  const std::uint64_t num_tasks = r.u64("num_tasks");
+  // Cap before allocating (like the serialize.cpp readers): corruption must
+  // surface as the documented runtime_error, not bad_alloc.
+  if (num_tasks > parallel::VecEnv::kMaxEnvs) {
+    throw std::runtime_error("checkpoint: corrupt task count");
+  }
+  std::vector<std::string> names(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    names[i] = r.str(task_tag(i) + ".name");
+  }
+
+  if (warm_start) {
+    // Weights only; the remaining record stream is intentionally unread.
+    core_.load_net_only(r);
+    return;
+  }
+
+  if (num_envs != config_.num_envs) {
+    throw std::runtime_error("checkpoint: num_envs mismatch (checkpoint " +
+                             std::to_string(num_envs) + ", session " +
+                             std::to_string(config_.num_envs) + ")");
+  }
+  if (curriculum_mode != static_cast<std::uint64_t>(config_.curriculum)) {
+    throw std::runtime_error("checkpoint: curriculum mode mismatch");
+  }
+  if (num_tasks != tasks_.size()) {
+    throw std::runtime_error("checkpoint: task count mismatch");
+  }
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    if (names[i] != tasks_[i].name) {
+      throw std::runtime_error("checkpoint: task " + std::to_string(i) +
+                               " is '" + names[i] + "', session has '" +
+                               tasks_[i].name + "'");
+    }
+  }
+
+  core_.load_state(r);
+
+  epochs_completed_ = static_cast<int>(r.u64("session.epochs_completed"));
+  total_env_steps_ = static_cast<long>(r.u64("session.total_env_steps"));
+  const auto cur_state = r.u64vec("session.curriculum_rng");
+  if (cur_state.size() != 4) {
+    throw std::runtime_error("checkpoint: bad curriculum RNG state");
+  }
+  curriculum_rng_.set_state(
+      {cur_state[0], cur_state[1], cur_state[2], cur_state[3]});
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    TaskRuntime& rt = *runtimes_[i];
+    const std::string tag = task_tag(i);
+    const auto restore_rng = [&](Rng& rng, const std::string& name) {
+      const auto s = r.u64vec(name);
+      if (s.size() != 4) {
+        throw std::runtime_error("checkpoint: bad RNG state in '" + name +
+                                 "'");
+      }
+      rng.set_state({s[0], s[1], s[2], s[3]});
+    };
+    if (rt.env) {
+      restore_rng(rt.action_rng, tag + ".action_rng");
+    } else {
+      for (std::size_t j = 0; j < config_.num_envs; ++j) {
+        restore_rng(rt.venv->rng(j), tag + ".rng." + std::to_string(j));
+      }
+    }
+    if (r.u64(tag + ".best_present") != 0) {
+      const auto flat = r.u64vec(tag + ".best_placements");
+      const std::size_t n = tasks_[i].system->num_chiplets();
+      if (flat.size() != n * 4) {
+        throw std::runtime_error("checkpoint: best-floorplan size mismatch "
+                                 "for task '" + tasks_[i].name + "'");
+      }
+      Floorplan fp(*tasks_[i].system);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (flat[k * 4] != 0) {
+          fp.place(k, {bits_f64(flat[k * 4 + 1]), bits_f64(flat[k * 4 + 2])},
+                   flat[k * 4 + 3] != 0);
+        }
+      }
+      rt.best = std::move(fp);
+      rt.best_metrics.valid = true;
+      rt.best_metrics.wirelength_mm = r.f64(tag + ".best_wirelength_mm");
+      rt.best_metrics.temperature_c = r.f64(tag + ".best_temperature_c");
+      rt.best_metrics.reward = r.f64(tag + ".best_reward");
+    } else {
+      rt.best.reset();
+      rt.best_metrics = {};
+    }
+  }
+  r.finish();
+}
+
+}  // namespace rlplan::rl

@@ -1,0 +1,192 @@
+// TrainingSession — the resumable, scenario-driven training engine.
+//
+// Owns the full RL training lifecycle that used to be scattered across
+// RlPlanner, PpoTrainer, and ad-hoc scripts: experience collection over one
+// or many problem instances, PPO updates (through a PpoCore), versioned
+// full-state checkpointing, and multi-scenario curriculum training. Both
+// RlPlanner and tools/regress.cpp are thin shells over this class;
+// tools/train.cpp exposes it directly (train/resume/eval subcommands, JSONL
+// metrics).
+//
+// ## Lifecycle
+//
+//   tasks (name + system + thermal evaluator prototype)
+//        |
+//        v            num_envs==1: FloorplanEnv + replica-0 action stream
+//   TrainingSession --+
+//        |            num_envs >1: VecEnv (cloned evaluators, per-replica
+//        |                         streams) + shared ThreadPool
+//        v
+//   train_epoch():  pick scenario (round-robin / sampled curriculum)
+//                   -> parallel::collect_episodes (THE one pipeline)
+//                   -> PpoCore::update (clipped-surrogate PPO + RND)
+//                   -> per-scenario best-floorplan tracking
+//        |
+//        v
+//   save_checkpoint() / load_checkpoint() at any epoch boundary
+//
+// ## Checkpoint format (RLPNNv2)
+//
+// A typed record stream (nn/serialize.h StateWriter). Sections, in order:
+//
+//   section    | records
+//   -----------+------------------------------------------------------------
+//   header     | version, grid, channels, num_envs, curriculum mode,
+//              | trajectory-affecting PPO hyperparameters (validated on
+//              | resume), num_tasks, per-task scenario names
+//   net        | policy/value weights ("net.*"; warm-start readers stop here)
+//   core       | update-RNG state, Adam moments + step count, reward-
+//              | normalizer Welford state, intrinsic scale, RND block
+//              | (target/predictor weights, predictor Adam, error Welford)
+//   session    | epoch + env-step counters, curriculum RNG, per-task action
+//              | RNG streams (serial or per replica), per-task best
+//              | floorplan + metrics
+//   end        | terminal marker (turns tail truncation into an error)
+//
+// Every float/double is stored as raw IEEE-754 bits and every RNG as its raw
+// state, so `train(N)` and `train(k); save; load; train(N-k)` produce
+// bit-identical parameters, statistics, and best floorplans — for serial and
+// parallel collection alike (tests/session_test.cpp asserts exactly this).
+// load_checkpoint() also reads v1 (RLPNNv1, weight-only) files: weights are
+// restored, optimizer/normalizer/RNG state starts fresh.
+//
+// ## Curriculum
+//
+// With multiple tasks, one policy trains across all of them: kRoundRobin
+// cycles scenarios epoch by epoch, kSampled draws the scenario per epoch
+// from a dedicated curriculum RNG stream (util/rng.h seed contract). Every
+// TrainStats is tagged with the scenario it trained on so mixed-scenario
+// reward scales are never averaged together. Sequential warm-start
+// fine-tuning onto a held-out scenario = a fresh single-task session +
+// load_checkpoint(path, /*warm_start=*/true).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bump/bump_grid.h"
+#include "core/chiplet.h"
+#include "core/floorplan.h"
+#include "core/reward.h"
+#include "rl/env.h"
+#include "rl/ppo.h"
+#include "thermal/evaluator.h"
+#include "util/rng.h"
+
+namespace rlplan::parallel {
+class ThreadPool;
+class VecEnv;
+}  // namespace rlplan::parallel
+
+namespace rlplan::rl {
+
+/// Scenario-selection policy when a session trains over multiple tasks.
+enum class CurriculumMode {
+  kRoundRobin,  ///< epoch e trains task e % num_tasks
+  kSampled,     ///< task drawn per epoch from the curriculum RNG stream
+};
+
+/// One problem instance a session trains on.
+struct SessionTask {
+  std::string name;
+  /// Must outlive the session at a stable address (floorplans returned by
+  /// the session reference it).
+  const ChipletSystem* system = nullptr;
+  /// Evaluator prototype. Used directly when num_envs == 1; cloned per
+  /// replica by VecEnv when num_envs > 1 (must support clone() then).
+  std::unique_ptr<thermal::ThermalEvaluator> evaluator;
+};
+
+struct TrainingSessionConfig {
+  EnvConfig env{};
+  PolicyNetConfig net{};
+  PpoConfig ppo{};
+  RewardParams reward{};
+  bump::BumpGridConfig bump{};
+  /// Environment replicas per task; 1 = serial collection through the same
+  /// unified pipeline. See RlPlannerConfig for the full semantics.
+  std::size_t num_envs = 1;
+  std::size_t num_threads = 0;  ///< 0 = min(num_envs, hardware)
+  CurriculumMode curriculum = CurriculumMode::kRoundRobin;
+  /// THE authoritative seed: every stream (net init, update shuffles, action
+  /// sampling, RND, curriculum picks) derives from it — see util/rng.h.
+  /// Overrides ppo.seed.
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+class TrainingSession {
+ public:
+  /// Builds envs/replicas for every task. Throws std::invalid_argument on an
+  /// empty task list, a null system/evaluator, or (num_envs > 1) an
+  /// evaluator that cannot be cloned.
+  TrainingSession(TrainingSessionConfig config,
+                  std::vector<SessionTask> tasks);
+  ~TrainingSession();
+
+  TrainingSession(const TrainingSession&) = delete;
+  TrainingSession& operator=(const TrainingSession&) = delete;
+
+  /// One collect + update cycle on the scenario the curriculum picks.
+  /// The returned stats carry that scenario's name.
+  TrainStats train_epoch();
+
+  int epochs_completed() const { return epochs_completed_; }
+  long total_env_steps() const { return total_env_steps_; }
+  PpoCore& core() { return core_; }
+  const TrainingSessionConfig& config() const { return config_; }
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const SessionTask& task(std::size_t i) const { return tasks_.at(i); }
+
+  /// Best complete (non-dead-end) floorplan sampled on task `i` so far.
+  bool has_best(std::size_t i) const;
+  const Floorplan& best_floorplan(std::size_t i) const;
+  const EpisodeMetrics& best_metrics(std::size_t i) const;
+
+  /// One greedy (argmax) episode on task `i`; updates that task's best when
+  /// the greedy result improves on it. Consumes no RNG.
+  EpisodeMetrics greedy_episode(std::size_t i);
+
+  /// Scores an external complete floorplan with task `i`'s reward pipeline.
+  EpisodeMetrics evaluate_floorplan(std::size_t i, const Floorplan& fp);
+
+  /// Full-state RLPNNv2 checkpoint (format documented above). Deterministic
+  /// content: no timestamps, so identical training histories produce
+  /// byte-identical files.
+  void save_checkpoint(const std::string& path) const;
+
+  /// Restores a checkpoint. Default (resume) mode requires the session to
+  /// match the checkpoint exactly — grid, channels, num_envs, task count
+  /// and names, RND configuration — and restores every stream so training
+  /// continues bit-exactly. With warm_start only the net weights are read
+  /// (fine-tuning path: fresh optimizer/normalizer/RNG over new scenarios).
+  /// v1 weight-only files load with warm_start only — they cannot satisfy a
+  /// full resume, and resume mode rejects them rather than silently
+  /// restarting optimizer/RNG state. Throws std::runtime_error on mismatch
+  /// or corruption.
+  void load_checkpoint(const std::string& path, bool warm_start = false);
+
+ private:
+  struct TaskRuntime;
+
+  std::size_t pick_task();
+  FloorplanEnv& primary_env(std::size_t i);
+  void consider_best(TaskRuntime& rt, const EpisodeMetrics& metrics,
+                     const Floorplan& fp);
+
+  TrainingSessionConfig config_;
+  std::vector<SessionTask> tasks_;
+  std::unique_ptr<parallel::ThreadPool> pool_;  ///< shared, num_envs > 1
+  std::vector<std::unique_ptr<TaskRuntime>> runtimes_;
+  PpoCore core_;
+  RolloutBuffer buffer_;
+  Rng curriculum_rng_;
+  int epochs_completed_ = 0;
+  long total_env_steps_ = 0;
+};
+
+}  // namespace rlplan::rl

@@ -1,0 +1,417 @@
+// TrainingSession: bit-exact resume (serial, parallel, RND), curriculum
+// tagging, v1 backward compatibility, and checkpoint-corruption rejection.
+#include "rl/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+#include "thermal/evaluator.h"
+
+namespace rlplan::rl {
+namespace {
+
+// Cheap geometric evaluator (compactness ~ heat) so session tests avoid
+// thermal characterization entirely. Cloneable for VecEnv replicas.
+class ProxyEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    ++count_;
+    double worst = 45.0;
+    const auto rects = floorplan.placed_rects();
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (!rects[i]) continue;
+      double t = 45.0 + 1.2 * system.chiplet(i).power;
+      for (std::size_t j = 0; j < rects.size(); ++j) {
+        if (j == i || !rects[j]) continue;
+        const double d = center_distance(*rects[i], *rects[j]);
+        t += system.chiplet(j).power / (1.0 + 0.3 * d);
+      }
+      worst = std::max(worst, t);
+    }
+    return worst;
+  }
+  long num_evaluations() const override { return count_; }
+  std::string name() const override { return "proxy"; }
+  std::unique_ptr<thermal::ThermalEvaluator> clone() const override {
+    return std::make_unique<ProxyEvaluator>();
+  }
+
+ private:
+  long count_ = 0;
+};
+
+ChipletSystem tiny_system_a() {
+  return ChipletSystem("sys-a", 24.0, 24.0,
+                       {{"a", 8.0, 8.0, 25.0},
+                        {"b", 6.0, 6.0, 12.0},
+                        {"c", 5.0, 5.0, 8.0}},
+                       {{0, 1, 64}, {1, 2, 32}, {0, 2, 16}});
+}
+
+ChipletSystem tiny_system_b() {
+  return ChipletSystem("sys-b", 26.0, 26.0,
+                       {{"x", 7.0, 9.0, 30.0},
+                        {"y", 6.0, 5.0, 10.0},
+                        {"z", 4.0, 6.0, 6.0}},
+                       {{0, 1, 128}, {1, 2, 48}});
+}
+
+ChipletSystem tiny_system_c() {
+  return ChipletSystem("sys-c", 22.0, 22.0,
+                       {{"p", 6.0, 6.0, 20.0}, {"q", 7.0, 5.0, 14.0}},
+                       {{0, 1, 96}});
+}
+
+TrainingSessionConfig small_config(std::uint64_t seed,
+                                   std::size_t num_envs = 1) {
+  TrainingSessionConfig config;
+  config.env.grid = 12;
+  config.net.conv1 = 4;
+  config.net.conv2 = 4;
+  config.net.conv3 = 4;
+  config.net.fc = 32;
+  config.ppo.episodes_per_update = 6;
+  config.ppo.minibatch = 16;
+  config.num_envs = num_envs;
+  config.num_threads = num_envs > 1 ? 2 : 0;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<SessionTask> make_tasks(
+    const std::vector<const ChipletSystem*>& systems,
+    const std::vector<std::string>& names) {
+  std::vector<SessionTask> tasks;
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    tasks.push_back(
+        {names[i], systems[i], std::make_unique<ProxyEvaluator>()});
+  }
+  return tasks;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void expect_same_stats(const TrainStats& a, const TrainStats& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.mean_reward, b.mean_reward);
+  EXPECT_EQ(a.best_reward, b.best_reward);
+  EXPECT_EQ(a.policy_loss, b.policy_loss);
+  EXPECT_EQ(a.value_loss, b.value_loss);
+  EXPECT_EQ(a.entropy, b.entropy);
+  EXPECT_EQ(a.approx_kl, b.approx_kl);
+  EXPECT_EQ(a.grad_norm, b.grad_norm);
+  EXPECT_EQ(a.rnd_error, b.rnd_error);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.dead_ends, b.dead_ends);
+}
+
+void expect_same_parameters(PpoCore& a, PpoCore& b) {
+  const auto pa = a.net().parameters();
+  const auto pb = b.net().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel());
+    for (std::size_t k = 0; k < pa[i]->value.numel(); ++k) {
+      ASSERT_EQ(pa[i]->value[k], pb[i]->value[k])
+          << "param " << pa[i]->name << " diverges at element " << k;
+    }
+  }
+}
+
+void expect_same_best(TrainingSession& a, TrainingSession& b,
+                      std::size_t task) {
+  ASSERT_EQ(a.has_best(task), b.has_best(task));
+  if (!a.has_best(task)) return;
+  const Floorplan& fa = a.best_floorplan(task);
+  const Floorplan& fb = b.best_floorplan(task);
+  ASSERT_EQ(fa.num_chiplets(), fb.num_chiplets());
+  for (std::size_t k = 0; k < fa.num_chiplets(); ++k) {
+    ASSERT_EQ(fa.placement(k).has_value(), fb.placement(k).has_value());
+    if (fa.placement(k)) {
+      EXPECT_EQ(fa.placement(k)->position.x, fb.placement(k)->position.x);
+      EXPECT_EQ(fa.placement(k)->position.y, fb.placement(k)->position.y);
+      EXPECT_EQ(fa.placement(k)->rotated, fb.placement(k)->rotated);
+    }
+  }
+  EXPECT_EQ(a.best_metrics(task).reward, b.best_metrics(task).reward);
+}
+
+/// train(total) in one session vs. train(split); save; load into a fresh
+/// session; train(total - split) — every post-split epoch, the final
+/// parameters, and the best floorplan must match bit-exactly.
+void check_resume_bit_exact(const TrainingSessionConfig& config,
+                            bool multi_task, const std::string& ckpt_name) {
+  const ChipletSystem sys_a = tiny_system_a();
+  const ChipletSystem sys_b = tiny_system_b();
+  std::vector<const ChipletSystem*> systems{&sys_a};
+  std::vector<std::string> names{"a"};
+  if (multi_task) {
+    systems.push_back(&sys_b);
+    names.push_back("b");
+  }
+  const int total = 6, split = 3;
+
+  TrainingSession full(config, make_tasks(systems, names));
+  std::vector<TrainStats> full_tail;
+  for (int e = 0; e < total; ++e) {
+    TrainStats s = full.train_epoch();
+    if (e >= split) full_tail.push_back(std::move(s));
+  }
+
+  const std::string path = temp_path(ckpt_name);
+  TrainingSession first(config, make_tasks(systems, names));
+  for (int e = 0; e < split; ++e) first.train_epoch();
+  first.save_checkpoint(path);
+
+  TrainingSession resumed(config, make_tasks(systems, names));
+  resumed.load_checkpoint(path);
+  EXPECT_EQ(resumed.epochs_completed(), split);
+  std::vector<TrainStats> resumed_tail;
+  for (int e = split; e < total; ++e) {
+    resumed_tail.push_back(resumed.train_epoch());
+  }
+
+  ASSERT_EQ(full_tail.size(), resumed_tail.size());
+  for (std::size_t i = 0; i < full_tail.size(); ++i) {
+    expect_same_stats(full_tail[i], resumed_tail[i]);
+  }
+  expect_same_parameters(full.core(), resumed.core());
+  EXPECT_EQ(full.total_env_steps(), resumed.total_env_steps());
+  for (std::size_t t = 0; t < systems.size(); ++t) {
+    expect_same_best(full, resumed, t);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSession, ResumeBitExactSerial) {
+  check_resume_bit_exact(small_config(7), false, "resume_serial.ckpt");
+}
+
+TEST(TrainingSession, ResumeBitExactParallel) {
+  check_resume_bit_exact(small_config(11, /*num_envs=*/3), false,
+                         "resume_parallel.ckpt");
+}
+
+TEST(TrainingSession, ResumeBitExactWithRnd) {
+  TrainingSessionConfig config = small_config(13);
+  config.ppo.use_rnd = true;
+  check_resume_bit_exact(config, false, "resume_rnd.ckpt");
+}
+
+TEST(TrainingSession, ResumeBitExactCurriculum) {
+  TrainingSessionConfig config = small_config(17);
+  config.curriculum = CurriculumMode::kSampled;
+  check_resume_bit_exact(config, true, "resume_curriculum.ckpt");
+}
+
+TEST(TrainingSession, CurriculumRoundRobinTagsEveryEpoch) {
+  const ChipletSystem sa = tiny_system_a();
+  const ChipletSystem sb = tiny_system_b();
+  const ChipletSystem sc = tiny_system_c();
+  TrainingSession session(
+      small_config(3),
+      make_tasks({&sa, &sb, &sc}, {"alpha", "beta", "gamma"}));
+  const std::vector<std::string> expect{"alpha", "beta", "gamma",
+                                        "alpha", "beta", "gamma"};
+  for (const std::string& name : expect) {
+    EXPECT_EQ(session.train_epoch().scenario, name);
+  }
+  // One policy trained across all three; each task tracked its own best.
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_TRUE(session.has_best(t));
+    EXPECT_TRUE(session.best_floorplan(t).is_complete());
+  }
+}
+
+TEST(TrainingSession, CurriculumTasksDrawIndependentActionStreams) {
+  // Two tasks over IDENTICAL systems, with policy updates disabled
+  // (update_epochs = 0) so the net is frozen: if the tasks shared one
+  // action-stream derivation, their epochs would sample identical
+  // trajectories and identical rewards. The per-task seed bases
+  // (util/rng.h) must keep them distinct.
+  const ChipletSystem sys = tiny_system_a();
+  TrainingSessionConfig config = small_config(21);
+  config.ppo.update_epochs = 0;
+  TrainingSession session(config, make_tasks({&sys, &sys}, {"a", "b"}));
+  const TrainStats ea = session.train_epoch();
+  const TrainStats eb = session.train_epoch();
+  ASSERT_EQ(ea.scenario, "a");
+  ASSERT_EQ(eb.scenario, "b");
+  EXPECT_NE(ea.mean_reward, eb.mean_reward);
+}
+
+TEST(TrainingSession, SampledCurriculumIsSeedDeterministic) {
+  const ChipletSystem sa = tiny_system_a();
+  const ChipletSystem sb = tiny_system_b();
+  TrainingSessionConfig config = small_config(5);
+  config.curriculum = CurriculumMode::kSampled;
+  auto run = [&] {
+    TrainingSession session(config, make_tasks({&sa, &sb}, {"a", "b"}));
+    std::string order;
+    for (int e = 0; e < 6; ++e) order += session.train_epoch().scenario;
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TrainingSession, WarmStartLoadsWeightsOnly) {
+  const ChipletSystem sa = tiny_system_a();
+  const std::string path = temp_path("warm_start.ckpt");
+  TrainingSession donor(small_config(7), make_tasks({&sa}, {"a"}));
+  for (int e = 0; e < 2; ++e) donor.train_epoch();
+  donor.save_checkpoint(path);
+
+  // Different task name/seed: a full resume must reject, warm start must
+  // accept and copy only the weights.
+  const ChipletSystem sb = tiny_system_b();
+  TrainingSession tuner(small_config(23), make_tasks({&sb}, {"held-out"}));
+  EXPECT_THROW(tuner.load_checkpoint(path), std::runtime_error);
+  tuner.load_checkpoint(path, /*warm_start=*/true);
+  expect_same_parameters(donor.core(), tuner.core());
+  EXPECT_EQ(tuner.core().optimizer_steps(), 0);
+  EXPECT_EQ(tuner.epochs_completed(), 0);
+  EXPECT_NO_THROW(tuner.train_epoch());
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSession, LoadsV1WeightOnlyCheckpoints) {
+  const ChipletSystem sa = tiny_system_a();
+  const std::string path = temp_path("v1_weights.ckpt");
+  TrainingSession donor(small_config(9), make_tasks({&sa}, {"a"}));
+  donor.train_epoch();
+  donor.core().net().save(path);  // RLPNNv1 weight-only format
+  ASSERT_EQ(nn::checkpoint_file_version(path), 1);
+
+  TrainingSession loaded(small_config(31), make_tasks({&sa}, {"a"}));
+  // A v1 file can never satisfy a full resume; only warm start accepts it.
+  EXPECT_THROW(loaded.load_checkpoint(path), std::runtime_error);
+  loaded.load_checkpoint(path, /*warm_start=*/true);
+  expect_same_parameters(donor.core(), loaded.core());
+  EXPECT_EQ(loaded.epochs_completed(), 0);  // v1 carries no session state
+  EXPECT_NO_THROW(loaded.train_epoch());
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSession, RejectsMismatchedSessionShape) {
+  const ChipletSystem sa = tiny_system_a();
+  const std::string path = temp_path("shape.ckpt");
+  TrainingSession donor(small_config(7, /*num_envs=*/2),
+                        make_tasks({&sa}, {"a"}));
+  donor.train_epoch();
+  donor.save_checkpoint(path);
+
+  // num_envs mismatch.
+  TrainingSession serial(small_config(7), make_tasks({&sa}, {"a"}));
+  EXPECT_THROW(serial.load_checkpoint(path), std::runtime_error);
+  // Architecture mismatch (different grid) fails even for warm start.
+  TrainingSessionConfig other_grid = small_config(7, 2);
+  other_grid.env.grid = 8;
+  TrainingSession coarse(other_grid, make_tasks({&sa}, {"a"}));
+  EXPECT_THROW(coarse.load_checkpoint(path), std::runtime_error);
+  EXPECT_THROW(coarse.load_checkpoint(path, /*warm_start=*/true),
+               std::runtime_error);
+  // RND mismatch.
+  TrainingSessionConfig with_rnd = small_config(7, 2);
+  with_rnd.ppo.use_rnd = true;
+  TrainingSession rnd_session(with_rnd, make_tasks({&sa}, {"a"}));
+  EXPECT_THROW(rnd_session.load_checkpoint(path), std::runtime_error);
+  // PPO hyperparameter drift: silently diverging resumes must be rejected,
+  // but warm start (weights only) still accepts the checkpoint.
+  TrainingSessionConfig other_ppo = small_config(7, 2);
+  other_ppo.ppo.episodes_per_update = 12;
+  TrainingSession drifted(other_ppo, make_tasks({&sa}, {"a"}));
+  EXPECT_THROW(drifted.load_checkpoint(path), std::runtime_error);
+  EXPECT_NO_THROW(drifted.load_checkpoint(path, /*warm_start=*/true));
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSession, RejectsTruncatedAndCorruptCheckpoints) {
+  const ChipletSystem sa = tiny_system_a();
+  const std::string path = temp_path("trunc.ckpt");
+  TrainingSession donor(small_config(7), make_tasks({&sa}, {"a"}));
+  donor.train_epoch();
+  donor.save_checkpoint(path);
+
+  std::string blob;
+  {
+    std::ifstream is(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(blob.size(), 64u);
+
+  const auto write_blob = [&](const std::string& data) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+  const auto expect_rejected = [&] {
+    TrainingSession victim(small_config(7), make_tasks({&sa}, {"a"}));
+    EXPECT_THROW(victim.load_checkpoint(path), std::runtime_error);
+  };
+
+  // Truncation at a spread of prefixes, including mid-magic, mid-header,
+  // mid-tensor, and one byte short of complete (the "end" marker guards the
+  // tail).
+  for (const double frac : {0.002, 0.01, 0.1, 0.4, 0.8, 0.999}) {
+    write_blob(blob.substr(
+        0, static_cast<std::size_t>(static_cast<double>(blob.size()) * frac)));
+    expect_rejected();
+  }
+  write_blob(blob.substr(0, blob.size() - 1));
+  expect_rejected();
+
+  // Magic corruption.
+  {
+    std::string bad = blob;
+    bad[3] ^= 0x40;
+    write_blob(bad);
+    expect_rejected();
+  }
+  // Record-name corruption just past the magic (flips a header byte).
+  {
+    std::string bad = blob;
+    bad[nn::kCheckpointMagicLen + 9] ^= 0x01;
+    write_blob(bad);
+    expect_rejected();
+  }
+
+  // The pristine blob still loads (the guards above are not over-eager).
+  write_blob(blob);
+  TrainingSession ok(small_config(7), make_tasks({&sa}, {"a"}));
+  EXPECT_NO_THROW(ok.load_checkpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSession, CheckpointFilesAreByteDeterministic) {
+  const ChipletSystem sa = tiny_system_a();
+  const std::string p1 = temp_path("det1.ckpt");
+  const std::string p2 = temp_path("det2.ckpt");
+  auto run = [&](const std::string& path) {
+    TrainingSession session(small_config(19), make_tasks({&sa}, {"a"}));
+    for (int e = 0; e < 2; ++e) session.train_epoch();
+    session.save_checkpoint(path);
+  };
+  run(p1);
+  run(p2);
+  std::ifstream a(p1, std::ios::binary), b(p2, std::ios::binary);
+  const std::string ba(std::istreambuf_iterator<char>(a),
+                       std::istreambuf_iterator<char>{});
+  const std::string bb(std::istreambuf_iterator<char>(b),
+                       std::istreambuf_iterator<char>{});
+  EXPECT_EQ(ba, bb);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+}  // namespace
+}  // namespace rlplan::rl

@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -42,7 +43,8 @@
 #include "bump/assigner.h"
 #include "core/reward.h"
 #include "parallel/thread_pool.h"
-#include "rl/planner.h"
+#include "rl/planner.h"  // first_fit_floorplan fallback
+#include "rl/session.h"
 #include "sa/tap25d.h"
 #include "systems/scenario.h"
 #include "thermal/characterize.h"
@@ -160,29 +162,51 @@ LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
 LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
                      const thermal::FastThermalModel& model,
                      const thermal::LayerStack& stack) {
-  rl::RlPlannerConfig pc;
-  pc.env.grid = scenario.budget.rl_grid;
-  pc.net.grid = scenario.budget.rl_grid;
-  pc.epochs = scenario.budget.rl_epochs;
-  pc.ppo.episodes_per_update = scenario.budget.rl_episodes_per_update;
-  pc.solver.dims = kTruthDims;
-  pc.seed = scenario.seed;
-  rl::RlPlanner planner(pc);
+  // The RL leg drives the TrainingSession engine directly (the same engine
+  // behind RlPlanner and tools/train.cpp): one single-scenario session over
+  // the shared fast model, budgeted epochs, final greedy decode, then
+  // ground-truth scoring of the best floorplan.
+  rl::TrainingSessionConfig sc;
+  sc.env.grid = scenario.budget.rl_grid;
+  sc.net.grid = scenario.budget.rl_grid;
+  sc.ppo.episodes_per_update = scenario.budget.rl_episodes_per_update;
+  sc.seed = scenario.seed;
+  std::vector<rl::SessionTask> tasks;
+  tasks.push_back(
+      {scenario.name, &system,
+       std::make_unique<thermal::IncrementalFastModelEvaluator>(model)});
+  rl::TrainingSession session(sc, std::move(tasks));
 
-  const rl::PlannerResult result =
-      planner.plan_with_model(system, stack, model);
+  const Timer timer;
+  for (int epoch = 0; epoch < scenario.budget.rl_epochs; ++epoch) {
+    session.train_epoch();
+  }
+  session.greedy_episode(0);  // final greedy decode, as RlPlanner does
   LegResult leg;
   leg.ran = true;
-  leg.seconds = result.train_s;
-  leg.work = result.env_steps;
-  leg.throughput = result.steps_per_second();
-  if (result.best.has_value()) {
-    leg.legal = result.best->is_complete() && result.best->is_legal();
-    leg.wirelength_mm = result.final_wirelength_mm;
-    leg.temp_c = result.final_temperature_c;  // ground-truth scored inside
-    leg.reward = result.final_reward;
-    leg.best = result.best;
+  leg.seconds = timer.seconds();
+  leg.work = session.total_env_steps();
+  leg.throughput =
+      leg.seconds > 0.0 ? static_cast<double>(leg.work) / leg.seconds : 0.0;
+  // Degrade gracefully when the short budget never completed an episode —
+  // the first-fit fallback RlPlanner applies (scores will still be gated).
+  std::optional<Floorplan> best;
+  if (session.has_best(0)) {
+    best = session.best_floorplan(0);
+  } else {
+    try {
+      best = rl::first_fit_floorplan(system, sc.env);
+    } catch (const std::exception&) {
+      return leg;  // nothing fits: leg stays illegal
+    }
   }
+  leg.legal = best->is_complete() && best->is_legal();
+  const bump::BumpAssigner assigner;
+  leg.wirelength_mm = assigner.assign(system, *best).total_mm;
+  thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
+  leg.temp_c = truth.solve(system, *best).max_temp_c;
+  leg.reward = RewardCalculator{}.reward(leg.wirelength_mm, leg.temp_c);
+  leg.best = std::move(best);
   return leg;
 }
 
