@@ -1,0 +1,356 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace rlplan::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+constexpr std::size_t kMaxMetrics = MetricsRegistry::kMaxMetrics;
+
+// Per-thread histogram state. Allocated lazily on a thread's first observe()
+// of that histogram; every slot is single-writer (the owning thread), so
+// relaxed load+store suffices, while the snapshot reader sees a consistent-
+// enough view for monotonic counters.
+struct HistShard {
+  explicit HistShard(std::size_t num_buckets) : buckets(num_buckets) {}
+
+  std::vector<std::atomic<std::uint64_t>> buckets;  // upper_bounds + overflow
+  std::atomic<std::uint64_t> n{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+
+  void reset() {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    n.store(0, std::memory_order_relaxed);
+    sum.store(0.0, std::memory_order_relaxed);
+    min.store(std::numeric_limits<double>::infinity(),
+              std::memory_order_relaxed);
+    max.store(-std::numeric_limits<double>::infinity(),
+              std::memory_order_relaxed);
+  }
+};
+
+// One thread's slice of every counter plus its lazily-created histogram
+// shards. Fixed-size arrays: registering a metric never reallocates storage
+// another thread is writing through.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> counters{};
+  std::array<std::atomic<HistShard*>, kMaxMetrics> hists{};
+
+  ~Shard() {
+    for (auto& h : hists) delete h.load(std::memory_order_relaxed);
+  }
+};
+
+struct MetricDef {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<double> upper_bounds;  // histograms only
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::array<MetricDef, kMaxMetrics> defs;
+  std::size_t num_defs = 0;
+  // Shards are owned here and outlive their threads (merged even after the
+  // thread exits). The thread_local cache below avoids the mutex on every
+  // increment.
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::array<std::atomic<std::int64_t>, kMaxMetrics> gauge_value{};
+  std::array<std::atomic<std::int64_t>, kMaxMetrics> gauge_peak{};
+
+  Shard& local_shard() {
+    thread_local Shard* cached = nullptr;
+    if (cached == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex);
+      shards.push_back(std::make_unique<Shard>());
+      cached = shards.back().get();
+    }
+    return *cached;
+  }
+
+  std::uint32_t register_metric(std::string_view name, MetricKind kind,
+                                std::span<const double> upper_bounds) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < num_defs; ++i) {
+      if (defs[i].name == name) {
+        if (defs[i].kind != kind) {
+          throw std::logic_error("obs metric '" + std::string(name) +
+                                 "' registered with conflicting kinds");
+        }
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    if (num_defs >= kMaxMetrics) {
+      throw std::length_error("obs metrics registry full (kMaxMetrics)");
+    }
+    MetricDef& def = defs[num_defs];
+    def.name = std::string(name);
+    def.kind = kind;
+    if (kind == MetricKind::kHistogram) {
+      if (upper_bounds.empty()) upper_bounds = default_time_buckets_us();
+      for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+        if (!(upper_bounds[i] > upper_bounds[i - 1])) {
+          throw std::invalid_argument(
+              "obs histogram bounds must be strictly increasing");
+        }
+      }
+      def.upper_bounds.assign(upper_bounds.begin(), upper_bounds.end());
+    }
+    return static_cast<std::uint32_t>(num_defs++);
+  }
+
+  HistShard& hist_shard(std::uint32_t id) {
+    Shard& shard = local_shard();
+    HistShard* h = shard.hists[id].load(std::memory_order_acquire);
+    if (h == nullptr) {
+      std::size_t num_buckets = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        num_buckets = defs[id].upper_bounds.size() + 1;
+      }
+      h = new HistShard(num_buckets);
+      shard.hists[id].store(h, std::memory_order_release);
+    }
+    return *h;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: worker threads may touch their shards during static
+  // destruction, so the registry must never be torn down.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(impl_->register_metric(name, MetricKind::kCounter, {}));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(impl_->register_metric(name, MetricKind::kGauge, {}));
+}
+
+HistogramMetric MetricsRegistry::histogram(
+    std::string_view name, std::span<const double> upper_bounds) {
+  return HistogramMetric(
+      impl_->register_metric(name, MetricKind::kHistogram, upper_bounds));
+}
+
+namespace detail {
+
+void counter_add(std::uint32_t id, std::uint64_t delta) {
+  auto& slot = MetricsRegistry::instance().impl_->local_shard().counters[id];
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void gauge_set(std::uint32_t id, std::int64_t value) {
+  MetricsRegistry::Impl& impl = *MetricsRegistry::instance().impl_;
+  impl.gauge_value[id].store(value, std::memory_order_relaxed);
+  std::int64_t peak = impl.gauge_peak[id].load(std::memory_order_relaxed);
+  while (value > peak && !impl.gauge_peak[id].compare_exchange_weak(
+                             peak, value, std::memory_order_relaxed)) {
+  }
+}
+
+void gauge_add(std::uint32_t id, std::int64_t delta) {
+  MetricsRegistry::Impl& impl = *MetricsRegistry::instance().impl_;
+  const std::int64_t value =
+      impl.gauge_value[id].fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t peak = impl.gauge_peak[id].load(std::memory_order_relaxed);
+  while (value > peak && !impl.gauge_peak[id].compare_exchange_weak(
+                             peak, value, std::memory_order_relaxed)) {
+  }
+}
+
+void histogram_observe(std::uint32_t id, double value) {
+  MetricsRegistry::Impl& impl = *MetricsRegistry::instance().impl_;
+  HistShard& h = impl.hist_shard(id);
+  // Bucket layout is immutable after registration, so reading the bounds
+  // without the mutex is safe; linear scan beats binary search at these
+  // sizes (<= ~24 bounds).
+  const std::vector<double>& bounds = impl.defs[id].upper_bounds;
+  std::size_t b = 0;
+  while (b < bounds.size() && value > bounds[b]) ++b;
+  auto relaxed_bump = [](std::atomic<std::uint64_t>& slot,
+                         std::uint64_t delta) {
+    slot.store(slot.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  };
+  relaxed_bump(h.buckets[b], 1);
+  relaxed_bump(h.n, 1);
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+std::vector<MetricValue> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<MetricValue> out;
+  out.reserve(impl_->num_defs);
+  for (std::size_t i = 0; i < impl_->num_defs; ++i) {
+    const MetricDef& def = impl_->defs[i];
+    MetricValue v;
+    v.name = def.name;
+    v.kind = def.kind;
+    switch (def.kind) {
+      case MetricKind::kCounter:
+        for (const auto& shard : impl_->shards) {
+          v.count += shard->counters[i].load(std::memory_order_relaxed);
+        }
+        break;
+      case MetricKind::kGauge:
+        v.value = impl_->gauge_value[i].load(std::memory_order_relaxed);
+        v.peak = impl_->gauge_peak[i].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        v.upper_bounds = def.upper_bounds;
+        v.buckets.assign(def.upper_bounds.size() + 1, 0);
+        v.min = std::numeric_limits<double>::infinity();
+        v.max = -std::numeric_limits<double>::infinity();
+        for (const auto& shard : impl_->shards) {
+          const HistShard* h = shard->hists[i].load(std::memory_order_acquire);
+          if (h == nullptr) continue;
+          for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+            v.buckets[b] += h->buckets[b].load(std::memory_order_relaxed);
+          }
+          v.samples += h->n.load(std::memory_order_relaxed);
+          v.sum += h->sum.load(std::memory_order_relaxed);
+          v.min = std::min(v.min, h->min.load(std::memory_order_relaxed));
+          v.max = std::max(v.max, h->max.load(std::memory_order_relaxed));
+        }
+        if (v.samples == 0) {
+          v.min = 0.0;
+          v.max = 0.0;
+        } else {
+          v.p50 = histogram_quantile(v.upper_bounds, v.buckets, 0.50);
+          v.p90 = histogram_quantile(v.upper_bounds, v.buckets, 0.90);
+          v.p99 = histogram_quantile(v.upper_bounds, v.buckets, 0.99);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+util::JsonValue MetricsRegistry::snapshot_json() const {
+  util::JsonValue arr = util::JsonValue::make_array();
+  for (const MetricValue& v : snapshot()) {
+    util::JsonValue row = util::JsonValue::make_object();
+    row.set("name", v.name);
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        row.set("kind", "counter");
+        row.set("count", static_cast<double>(v.count));
+        break;
+      case MetricKind::kGauge:
+        row.set("kind", "gauge");
+        row.set("value", static_cast<double>(v.value));
+        row.set("peak", static_cast<double>(v.peak));
+        break;
+      case MetricKind::kHistogram: {
+        row.set("kind", "histogram");
+        row.set("samples", static_cast<double>(v.samples));
+        row.set("sum", v.sum);
+        row.set("min", v.min);
+        row.set("max", v.max);
+        row.set("p50", v.p50);
+        row.set("p90", v.p90);
+        row.set("p99", v.p99);
+        util::JsonValue bounds = util::JsonValue::make_array();
+        for (double ub : v.upper_bounds) bounds.push_back(ub);
+        row.set("upper_bounds", std::move(bounds));
+        util::JsonValue buckets = util::JsonValue::make_array();
+        for (std::uint64_t c : v.buckets) {
+          buckets.push_back(static_cast<double>(c));
+        }
+        row.set("buckets", std::move(buckets));
+        break;
+      }
+    }
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+void MetricsRegistry::write_jsonl(const std::string& path) const {
+  const util::JsonValue arr = snapshot_json();
+  std::string text;
+  for (const util::JsonValue& row : arr.as_array()) {
+    text += row.dump(0);
+    text += '\n';
+  }
+  // Reuse the JSON writer's error handling by writing via std::ofstream-free
+  // helper: write_json_file expects a JsonValue, so emit manually.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw util::JsonError("cannot open metrics output: " + path);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& shard : impl_->shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& hp : shard->hists) {
+      if (HistShard* h = hp.load(std::memory_order_relaxed)) h->reset();
+    }
+  }
+  for (auto& g : impl_->gauge_value) g.store(0, std::memory_order_relaxed);
+  for (auto& g : impl_->gauge_peak) g.store(0, std::memory_order_relaxed);
+}
+
+std::span<const double> default_time_buckets_us() {
+  // 1 µs, 2 µs, ... ×2 up to ~8.4 s.
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    double ub = 1.0;
+    for (int i = 0; i < 24; ++i) {
+      b.push_back(ub);
+      ub *= 2.0;
+    }
+    return b;
+  }();
+  return buckets;
+}
+
+}  // namespace rlplan::obs

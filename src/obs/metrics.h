@@ -1,0 +1,196 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Hot-path writes are uncontended: every thread gets its own shard of
+// single-writer atomic slots (relaxed load + store, no RMW, no false sharing
+// with other threads' shards), merged only when snapshot() runs. A disabled
+// registry costs one relaxed atomic load per macro hit — the instrumentation
+// in the thermal/SA/RL hot loops stays in place permanently and is switched
+// on per run (RLPLANNER_TRACE=1, --metrics/--trace tool flags, or
+// set_metrics_enabled(true)).
+//
+// Telemetry is a side channel by contract: nothing in this header feeds back
+// into optimizer decisions, so enabling it can never change deterministic
+// outputs (the differential suites run with tracing on to enforce this).
+//
+// Naming convention: lowercase dotted paths, "<family>.<detail>", where the
+// family is the subsystem ("thermal", "sa", "rl", "pool", "bench"). Handles
+// are cheap value types; the macros below cache the registration in a
+// function-local static so steady-state cost is the enabled check plus one
+// shard increment (~1 ns).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlplan::util {
+class JsonValue;
+}
+
+namespace rlplan::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+void counter_add(std::uint32_t id, std::uint64_t delta);
+void gauge_set(std::uint32_t id, std::int64_t value);
+void gauge_add(std::uint32_t id, std::int64_t delta);
+void histogram_observe(std::uint32_t id, double value);
+}  // namespace detail
+
+/// Single relaxed load; the only cost instrumentation pays when telemetry is
+/// off.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled);
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Monotonic event count (merged by summing thread shards).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) const { detail::counter_add(id_, delta); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Last-value metric with a tracked peak (set/add are global atomics — gauges
+/// record occasional state like queue depth, not per-event hot-path counts).
+class Gauge {
+ public:
+  void set(std::int64_t value) const { detail::gauge_set(id_, value); }
+  void add(std::int64_t delta) const { detail::gauge_add(id_, delta); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Fixed upper-bound buckets plus an implicit +inf overflow bucket; per-thread
+/// bucket arrays are allocated lazily on a thread's first observe().
+class HistogramMetric {
+ public:
+  void observe(double value) const { detail::histogram_observe(id_, value); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit HistogramMetric(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Merged view of one metric at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  // Counter.
+  std::uint64_t count = 0;
+  // Gauge.
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+  // Histogram. `buckets` has upper_bounds.size() + 1 entries (last = +inf
+  // overflow); quantiles interpolate within buckets (util/stats.h
+  // histogram_quantile), so they are estimates bounded by bucket width.
+  std::uint64_t samples = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process singleton; never destroyed (worker threads may still hold shard
+  /// pointers during static teardown).
+  static MetricsRegistry& instance();
+
+  /// Registration is idempotent by name; kind mismatches throw. The registry
+  /// holds a fixed table of kMaxMetrics definitions so shard slots never
+  /// reallocate under concurrent writers.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `upper_bounds` must be strictly increasing; empty means "use the default
+  /// exponential microsecond buckets" (default_time_buckets_us()).
+  HistogramMetric histogram(std::string_view name,
+                            std::span<const double> upper_bounds = {});
+
+  /// Merges every thread shard. Sorted by name; metrics that were never
+  /// touched still appear (zero-valued).
+  std::vector<MetricValue> snapshot() const;
+
+  /// One JSON object per metric, in snapshot() order.
+  util::JsonValue snapshot_json() const;
+
+  /// JSONL: snapshot_json() with one compact object per line.
+  void write_jsonl(const std::string& path) const;
+
+  /// Zeros every shard/gauge (definitions survive). Test/bench support only —
+  /// not synchronized against concurrent writers.
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static constexpr std::size_t kMaxMetrics = 192;
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry() = delete;
+
+  struct Impl;
+  Impl* impl_;
+  friend void detail::counter_add(std::uint32_t, std::uint64_t);
+  friend void detail::gauge_set(std::uint32_t, std::int64_t);
+  friend void detail::gauge_add(std::uint32_t, std::int64_t);
+  friend void detail::histogram_observe(std::uint32_t, double);
+};
+
+/// Exponential 1 µs .. ~8.4 s upper bounds (24 buckets, ×2 steps) — the
+/// default latency histogram layout.
+std::span<const double> default_time_buckets_us();
+
+}  // namespace rlplan::obs
+
+// Hot-path macros: one relaxed enabled check, then a function-local static
+// handle (registered on first enabled hit). `name` must be a string literal
+// or otherwise stable; the registration is cached per call site.
+#define RLPLAN_COUNTER_ADD(name, delta)                                    \
+  do {                                                                     \
+    if (::rlplan::obs::metrics_enabled()) {                                \
+      static const ::rlplan::obs::Counter rlplan_obs_counter_ =            \
+          ::rlplan::obs::MetricsRegistry::instance().counter(name);        \
+      rlplan_obs_counter_.add(static_cast<std::uint64_t>(delta));          \
+    }                                                                      \
+  } while (0)
+
+#define RLPLAN_COUNTER_INC(name) RLPLAN_COUNTER_ADD(name, 1)
+
+#define RLPLAN_GAUGE_SET(name, value)                                      \
+  do {                                                                     \
+    if (::rlplan::obs::metrics_enabled()) {                                \
+      static const ::rlplan::obs::Gauge rlplan_obs_gauge_ =                \
+          ::rlplan::obs::MetricsRegistry::instance().gauge(name);          \
+      rlplan_obs_gauge_.set(static_cast<std::int64_t>(value));             \
+    }                                                                      \
+  } while (0)
+
+#define RLPLAN_HISTOGRAM_OBSERVE(name, value)                              \
+  do {                                                                     \
+    if (::rlplan::obs::metrics_enabled()) {                                \
+      static const ::rlplan::obs::HistogramMetric rlplan_obs_hist_ =       \
+          ::rlplan::obs::MetricsRegistry::instance().histogram(name);      \
+      rlplan_obs_hist_.observe(static_cast<double>(value));                \
+    }                                                                      \
+  } while (0)

@@ -1,8 +1,20 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace rlplan::parallel {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads <= 1) return;  // inline mode
@@ -26,21 +38,28 @@ std::size_t ThreadPool::hardware_threads() {
 }
 
 void ThreadPool::run_indices() {
+  const std::uint64_t t0 = now_ns();
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n_) return;
+    if (i >= n_) break;
     (*fn_)(i);
+    ++executed;
   }
+  busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  tasks_.fetch_add(executed, std::memory_order_relaxed);
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
+      const std::uint64_t wait_t0 = now_ns();
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] {
         return stop_ || generation_ != seen_generation;
       });
+      idle_ns_.fetch_add(now_ns() - wait_t0, std::memory_order_relaxed);
       if (stop_) return;
       seen_generation = generation_;
     }
@@ -55,8 +74,22 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+  while (n > peak && !peak_depth_.compare_exchange_weak(
+                         peak, n, std::memory_order_relaxed)) {
+  }
+  RLPLAN_GAUGE_SET("pool.queue_depth", n);
+  RLPLAN_COUNTER_ADD("pool.tasks", n);
+  const std::uint64_t call_t0 = now_ns();
   if (workers_.empty() || n == 1) {
+    const std::uint64_t t0 = call_t0;
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    const std::uint64_t dt = now_ns() - t0;
+    busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+    tasks_.fetch_add(n, std::memory_order_relaxed);
+    RLPLAN_HISTOGRAM_OBSERVE("pool.parallel_for_us",
+                             static_cast<double>(dt) / 1e3);
     return;
   }
   {
@@ -72,6 +105,20 @@ void ThreadPool::parallel_for(std::size_t n,
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [&] { return remaining_workers_ == 0; });
   fn_ = nullptr;
+  RLPLAN_HISTOGRAM_OBSERVE("pool.parallel_for_us",
+                           static_cast<double>(now_ns() - call_t0) / 1e3);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.parallel_for_calls = calls_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_depth_.load(std::memory_order_relaxed);
+  s.busy_seconds =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
+  s.idle_seconds =
+      static_cast<double>(idle_ns_.load(std::memory_order_relaxed)) / 1e9;
+  return s;
 }
 
 }  // namespace rlplan::parallel

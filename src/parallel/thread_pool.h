@@ -20,12 +20,26 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace rlplan::parallel {
+
+/// Lifetime totals for one pool; see ThreadPool::stats(). Counters are exact
+/// (every index is executed exactly once, so `tasks_executed` across a burst
+/// of parallel_for(n) calls is the sum of the n's). busy/idle seconds
+/// overlap across lanes: with W workers plus the caller, a fully utilized
+/// pool accrues ~(W+1)× wall time of busy_seconds.
+struct ThreadPoolStats {
+  std::uint64_t parallel_for_calls = 0;
+  std::uint64_t tasks_executed = 0;
+  std::size_t peak_queue_depth = 0;  ///< largest single-call n
+  double busy_seconds = 0.0;  ///< summed time lanes spent inside fn loops
+  double idle_seconds = 0.0;  ///< summed time workers slept between calls
+};
 
 class ThreadPool {
  public:
@@ -49,11 +63,24 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t hardware_threads();
 
+  /// Snapshot of lifetime totals (safe to call concurrently with
+  /// parallel_for; counters may lag an in-flight call). Also feeds the obs
+  /// gauges ("pool.queue_depth", "pool.tasks", "pool.parallel_for_us") when
+  /// metrics are enabled.
+  ThreadPoolStats stats() const;
+
  private:
   void worker_loop();
   void run_indices();
 
   std::vector<std::thread> workers_;
+
+  // Lifetime accounting (relaxed atomics; single u64 adds per call/lane).
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::size_t> peak_depth_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
 
   std::mutex mutex_;
   std::condition_variable wake_;

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/collector.h"
 #include "rl/distribution.h"
 #include "util/log.h"
@@ -279,13 +281,18 @@ TrainStats run_ppo_epoch(PpoCore& core,
   const auto episodes = static_cast<std::size_t>(
       std::max(core.config().episodes_per_update, 0));
   parallel::CollectorStats cstats;
-  if (collector != nullptr) {
-    cstats = collector->collect(core.net(), episodes, buffer, on_end);
-  } else {
-    const parallel::EnvSlot slot{serial_env, serial_rng};
-    cstats = parallel::collect_episodes({&slot, 1}, core.net(), episodes,
-                                        buffer, nullptr, on_end);
+  {
+    RLPLAN_TRACE_SPAN("rl.collect", static_cast<std::int64_t>(episodes));
+    if (collector != nullptr) {
+      cstats = collector->collect(core.net(), episodes, buffer, on_end);
+    } else {
+      const parallel::EnvSlot slot{serial_env, serial_rng};
+      cstats = parallel::collect_episodes({&slot, 1}, core.net(), episodes,
+                                          buffer, nullptr, on_end);
+    }
   }
+  RLPLAN_COUNTER_ADD("rl.env_steps", cstats.steps);
+  RLPLAN_COUNTER_ADD("rl.episodes", cstats.episodes);
   total_env_steps += static_cast<long>(cstats.steps);
   core.fill_intrinsic(buffer);
 
@@ -298,7 +305,11 @@ TrainStats run_ppo_epoch(PpoCore& core,
           : 0.0;
   stats.best_reward = cstats.episodes > 0 ? cstats.reward_best : 0.0;
 
-  if (!buffer.empty()) core.update(buffer, stats);
+  if (!buffer.empty()) {
+    RLPLAN_TRACE_SPAN("rl.update",
+                      static_cast<std::int64_t>(buffer.steps().size()));
+    core.update(buffer, stats);
+  }
   return stats;
 }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/collector.h"
 #include "parallel/thread_pool.h"
 #include "parallel/vec_env.h"
@@ -136,6 +138,9 @@ void TrainingSession::consider_best(TaskRuntime& rt,
 }
 
 TrainStats TrainingSession::train_epoch() {
+  // The span tag is the absolute epoch index so curriculum phases line up
+  // in the trace timeline; per-scenario attribution rides on the counter.
+  RLPLAN_TRACE_SPAN("rl.epoch", static_cast<std::int64_t>(epochs_completed_));
   const std::size_t ti = pick_task();
   TaskRuntime& rt = *runtimes_[ti];
 
@@ -156,6 +161,13 @@ TrainStats TrainingSession::train_epoch() {
         }
       });
   stats.scenario = tasks_[ti].name;
+  if (obs::metrics_enabled()) {
+    // Dynamic name => registered through the registry, not the static-cache
+    // macro (one mutex-guarded lookup per epoch, far off the hot path).
+    obs::MetricsRegistry::instance()
+        .counter("rl.epochs." + stats.scenario)
+        .add(1);
+  }
   ++epochs_completed_;
 
   if (config_.verbose) {

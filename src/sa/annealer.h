@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -91,7 +93,11 @@ State anneal(State initial,
     t = samples > 0 ? std::max(delta_sum / samples, 1e-6) : 1.0;
   }
 
+  std::int64_t anneal_level = 0;
   while (t > options.t_final) {
+    // One span per temperature level (not per move: classic-mode moves are
+    // ~µs and would be dominated by the span cost itself).
+    RLPLAN_TRACE_SPAN("sa.level", anneal_level++);
     for (int m = 0; m < options.moves_per_temperature; ++m) {
       if (stats.evaluations >= options.max_evaluations) break;
       if (options.time_budget_s > 0.0 &&

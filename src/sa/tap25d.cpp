@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "rl/planner.h"
 #include "util/log.h"
@@ -133,6 +135,8 @@ Tap25dResult Tap25dPlanner::plan(const ChipletSystem& system,
                                  thermal::ThermalEvaluator& evaluator,
                                  RewardCalculator reward_calc,
                                  bump::BumpAssigner assigner) {
+  RLPLAN_TRACE_SPAN("sa.plan",
+                    static_cast<std::int64_t>(system.num_chiplets()));
   system.validate();
   Rng rng(config_.seed);
 
@@ -152,6 +156,7 @@ Tap25dResult Tap25dPlanner::plan(const ChipletSystem& system,
   } else {
     const auto propose = [&proposer](const Floorplan& state,
                                      Rng& r) -> std::optional<Floorplan> {
+      RLPLAN_COUNTER_INC("sa.proposals");
       return proposer(state, r);
     };
     // Drive the thermal term through the incremental protocol: the evaluator
@@ -167,8 +172,14 @@ Tap25dResult Tap25dPlanner::plan(const ChipletSystem& system,
       return reward_calc.cost(wl, temp);
     };
     AnnealHooks hooks;
-    hooks.on_accept = [&evaluator] { evaluator.commit(); };
-    hooks.on_reject = [&evaluator] { evaluator.rollback(); };
+    hooks.on_accept = [&evaluator] {
+      RLPLAN_COUNTER_INC("sa.accepted");
+      evaluator.commit();
+    };
+    hooks.on_reject = [&evaluator] {
+      RLPLAN_COUNTER_INC("sa.rejected");
+      evaluator.rollback();
+    };
     result.best = anneal<Floorplan>(std::move(initial), cost, propose,
                                     config_.anneal, rng, result.stats, hooks);
   }
@@ -253,16 +264,22 @@ Floorplan Tap25dPlanner::anneal_population(
     }
   }
 
+  std::int64_t level = 0;
   while (t > options.t_final) {
+    RLPLAN_TRACE_SPAN("sa.level", level++);
     for (int m = 0; m < options.moves_per_temperature; ++m) {
       if (stats.evaluations >= options.max_evaluations) break;
       if (options.time_budget_s > 0.0 &&
           timer.seconds() >= options.time_budget_s) {
         break;
       }
+      // One round = K proposals scored in a single batched thermal call; the
+      // span covers proposal generation + scoring + the Metropolis step.
+      RLPLAN_TRACE_SPAN("sa.round", static_cast<std::int64_t>(k));
       candidates.clear();
       for (std::size_t c = 0; c < k; ++c) {
         ++stats.proposals;
+        RLPLAN_COUNTER_INC("sa.proposals");
         auto cand = propose(current, rng);
         if (cand) candidates.push_back(std::move(*cand));
       }
@@ -283,6 +300,9 @@ Floorplan Tap25dPlanner::anneal_population(
         current = std::move(candidates[arg_best]);
         current_cost = costs[arg_best];
         ++stats.accepted;
+        RLPLAN_COUNTER_INC("sa.accepted");
+      } else {
+        RLPLAN_COUNTER_INC("sa.rejected");
       }
     }
     stats.best_cost_history.push_back(best_cost);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -43,6 +44,7 @@ ThermalCharacterizer::ThermalCharacterizer(const LayerStack& stack,
 FastThermalModel ThermalCharacterizer::characterize(
     double interposer_w_mm, double interposer_h_mm,
     const std::function<void(std::size_t, std::size_t)>& progress) {
+  RLPLAN_TRACE_SPAN("thermal.characterize");
   const Timer timer;
   report_ = {};
 
@@ -66,11 +68,15 @@ FastThermalModel ThermalCharacterizer::characterize(
           : 0;
   const std::size_t total =
       widths.size() * heights.size() + position_probes + 1;
-  SelfResistanceTable self =
-      build_self_table(interposer_w_mm, interposer_h_mm, widths, heights,
-                       progress, total, 0);
-  MutualResistanceTable mutual =
-      build_mutual_table(interposer_w_mm, interposer_h_mm);
+  SelfResistanceTable self = [&] {
+    RLPLAN_TRACE_SPAN("thermal.characterize.self_table");
+    return build_self_table(interposer_w_mm, interposer_h_mm, widths, heights,
+                            progress, total, 0);
+  }();
+  MutualResistanceTable mutual = [&] {
+    RLPLAN_TRACE_SPAN("thermal.characterize.mutual_table");
+    return build_mutual_table(interposer_w_mm, interposer_h_mm);
+  }();
 
   // Package-level uniform rise floor for the image decomposition: the far
   // tail of the measured kernel.
@@ -84,6 +90,7 @@ FastThermalModel ThermalCharacterizer::characterize(
   // The measured position-correction table is an alternative to the image
   // construction; only one boundary treatment should be active at a time.
   if (!config_.model_config.use_images && config_.position_points >= 2) {
+    RLPLAN_TRACE_SPAN("thermal.characterize.position_table");
     model.set_position_correction(build_position_correction(
         interposer_w_mm, interposer_h_mm, progress, total));
   }

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace rlplan::thermal {
@@ -215,6 +217,8 @@ FastThermalResult FastThermalModel::evaluate(const ChipletSystem& system,
   if (empty()) {
     throw std::logic_error("FastThermalModel: evaluate on empty model");
   }
+  RLPLAN_TRACE_SPAN("thermal.evaluate");
+  RLPLAN_COUNTER_INC("thermal.evaluate.calls");
   const Timer timer;
   FastThermalResult result;
   result.chiplet_temp_c.assign(system.num_chiplets(), ambient_c_);

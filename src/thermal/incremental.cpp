@@ -4,6 +4,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace rlplan::thermal {
 
 IncrementalThermalState::IncrementalThermalState(const FastThermalModel& model,
@@ -246,10 +248,15 @@ void IncrementalFastModelEvaluator::notify_remove(std::size_t i) {
 }
 
 void IncrementalFastModelEvaluator::commit() {
+  // Counters only on the incremental protocol: a query costs ~1 µs, so a
+  // trace span (~50 ns) would breach the <2% overhead budget; the SA/RL
+  // layers above carry the spans.
+  RLPLAN_COUNTER_INC("thermal.incremental.commits");
   if (state_) state_->commit();
 }
 
 void IncrementalFastModelEvaluator::rollback() {
+  RLPLAN_COUNTER_INC("thermal.incremental.rollbacks");
   if (state_) state_->undo();
 }
 
@@ -257,9 +264,21 @@ double IncrementalFastModelEvaluator::incremental_max_temperature(
     const ChipletSystem& system, const Floorplan& floorplan) {
   if (!ensure_session(system)) {
     // Oversized system: dense pair cache not worth it, batch evaluate.
+    RLPLAN_COUNTER_INC("thermal.incremental.fallback_full_evals");
     return max_temperature(system, floorplan);
   }
+  RLPLAN_COUNTER_INC("thermal.incremental.queries");
   state_->sync(floorplan);
+  if (obs::metrics_enabled()) {
+    // Cache effectiveness: rows actually recomputed since the last query vs
+    // n per query for a full rebuild.
+    const long updates = state_->pair_updates();
+    // A session rebuild resets the state's counter; restart the baseline.
+    RLPLAN_COUNTER_ADD(
+        "thermal.incremental.pair_updates",
+        updates >= last_pair_updates_ ? updates - last_pair_updates_ : updates);
+    last_pair_updates_ = updates;
+  }
   ++count_;
   ++incremental_queries_;
   return state_->max_temperature_c();

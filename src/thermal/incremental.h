@@ -211,6 +211,7 @@ class IncrementalFastModelEvaluator final : public ThermalEvaluator {
   long count_ = 0;
   long incremental_queries_ = 0;
   long full_evals_ = 0;
+  long last_pair_updates_ = 0;  ///< obs cache-effectiveness delta baseline
 };
 
 }  // namespace rlplan::thermal

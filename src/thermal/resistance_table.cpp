@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace rlplan::thermal {
 
 namespace table_detail {
@@ -157,6 +159,7 @@ MutualResistanceTable MutualResistanceTable::resampled_uniform(
     throw std::logic_error("MutualResistanceTable: resample of empty table");
   }
   if (is_uniform()) return *this;
+  RLPLAN_TRACE_SPAN("thermal.resample_uniform");
   double min_gap = distances_.back() - distances_.front();
   for (std::size_t i = 1; i < distances_.size(); ++i) {
     min_gap = std::min(min_gap, distances_[i] - distances_[i - 1]);

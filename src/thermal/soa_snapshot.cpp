@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "util/timer.h"
 
@@ -64,6 +66,9 @@ SoaSnapshot::SoaSnapshot(const FastThermalModel& model,
 }
 
 void SoaSnapshot::refresh(const Floorplan& floorplan) {
+  // Counter only: refresh runs per candidate (~µs); a span here would be
+  // the dominant cost of the span itself at small die counts.
+  RLPLAN_COUNTER_INC("thermal.soa.refreshes");
   if (!bound()) throw std::logic_error("SoaSnapshot: refresh while unbound");
   if (floorplan.num_chiplets() != n_) {
     throw std::invalid_argument(
@@ -280,6 +285,9 @@ std::vector<FastThermalResult> FastThermalModel::evaluate_batch(
   if (empty()) {
     throw std::logic_error("FastThermalModel: evaluate_batch on empty model");
   }
+  RLPLAN_TRACE_SPAN("thermal.evaluate_batch",
+                    static_cast<std::int64_t>(floorplans.size()));
+  RLPLAN_COUNTER_ADD("thermal.batch.candidates", floorplans.size());
   std::vector<FastThermalResult> results(floorplans.size());
   if (floorplans.empty()) return results;
 

@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -8,7 +9,23 @@ namespace rlplan {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_prefix{false};
 std::mutex g_mutex;
+
+// Small sequential ids beat std::this_thread::get_id() for readability and
+// match the tids the trace exporter assigns (both number threads in first-
+// use order).
+int local_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double monotonic_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,8 +50,24 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void set_log_prefix(bool enabled) {
+  g_prefix.store(enabled, std::memory_order_relaxed);
+}
+
+bool log_prefix_enabled() {
+  return g_prefix.load(std::memory_order_relaxed);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  if (log_prefix_enabled()) {
+    const double t = monotonic_seconds();
+    const int tid = local_thread_id();
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[rlplan %s %.6f t%02d] %s\n", level_name(level), t,
+                 tid, message.c_str());
+    return;
+  }
   const std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[rlplan %s] %s\n", level_name(level), message.c_str());
 }

@@ -19,6 +19,14 @@ void set_log_level(LogLevel level);
 /// Emits one formatted line to stderr (thread-safe at line granularity).
 void log_line(LogLevel level, const std::string& message);
 
+/// When enabled, every line carries a monotonic timestamp (seconds since the
+/// first prefixed line, microsecond resolution) and the calling thread's id:
+/// "[rlplan INFO 12.345678 t03] msg". Off by default — tools that interleave
+/// multi-threaded phases (train, regress) switch it on so log lines can be
+/// correlated with trace spans.
+void set_log_prefix(bool enabled);
+bool log_prefix_enabled();
+
 namespace detail {
 class LogStream {
  public:
@@ -34,10 +42,14 @@ class LogStream {
 
 }  // namespace rlplan
 
-#define RLPLAN_LOG(level)                      \
-  if (::rlplan::log_level() > (level)) {       \
-  } else                                       \
-    ::rlplan::detail::LogStream(level).stream()
+// The if-init binding evaluates `level` exactly once, so call sites may pass
+// an expression with side effects (or a function call) safely; the dangling-
+// else shape keeps the macro usable as a statement inside unbraced ifs.
+#define RLPLAN_LOG(level)                                             \
+  if (const ::rlplan::LogLevel rlplan_log_level_ = (level);           \
+      ::rlplan::log_level() > rlplan_log_level_) {                    \
+  } else                                                              \
+    ::rlplan::detail::LogStream(rlplan_log_level_).stream()
 
 #define RLPLAN_DEBUG RLPLAN_LOG(::rlplan::LogLevel::kDebug)
 #define RLPLAN_INFO RLPLAN_LOG(::rlplan::LogLevel::kInfo)

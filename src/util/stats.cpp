@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace rlplan {
 
@@ -74,6 +75,74 @@ ErrorMetrics ErrorMetrics::compute(std::span<const double> pred,
   m.mae = ae / n;
   m.mape = ape_n > 0 ? 100.0 * ape / static_cast<double>(ape_n) : 0.0;
   return m;
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) {
+    throw std::invalid_argument("quantile: empty sample");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  for (double v : sorted) {
+    if (std::isnan(v)) {
+      throw std::invalid_argument("quantile: NaN sample");
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.p50 = quantile(values, 0.50);  // validates input (empty / NaN) first
+  s.p90 = quantile(values, 0.90);
+  s.p99 = quantile(values, 0.99);
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  s.n = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  return s;
+}
+
+double histogram_quantile(std::span<const double> upper_bounds,
+                          std::span<const std::uint64_t> counts, double q) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("histogram_quantile: q must be in [0, 1]");
+  }
+  if (upper_bounds.empty() || counts.size() != upper_bounds.size() + 1) {
+    throw std::invalid_argument(
+        "histogram_quantile: counts must have upper_bounds.size() + 1 "
+        "entries");
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const auto in_bucket = static_cast<double>(counts[b]);
+    if (cum + in_bucket < rank && b + 1 < counts.size()) {
+      cum += in_bucket;
+      continue;
+    }
+    if (b == upper_bounds.size()) return upper_bounds.back();  // overflow
+    const double lo = b == 0 ? std::min(0.0, upper_bounds[0]) :
+                               upper_bounds[b - 1];
+    const double hi = upper_bounds[b];
+    if (in_bucket == 0.0) return lo;
+    return lo + (hi - lo) * std::clamp((rank - cum) / in_bucket, 0.0, 1.0);
+  }
+  return upper_bounds.back();
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -53,6 +54,40 @@ struct ErrorMetrics {
                               std::span<const double> ref,
                               double mape_eps = 1e-9);
 };
+
+/// Exact sample quantile with linear interpolation (type R-7, the numpy /
+/// Excel default): h = (n-1)q, result = v[floor(h)] + frac(h) *
+/// (v[ceil(h)] - v[floor(h)]) over the sorted samples. Exact for small N;
+/// a single element is every quantile of itself. Throws std::invalid_argument
+/// on an empty input, q outside [0, 1], or any NaN sample (NaN has no order,
+/// so a quantile over it is meaningless).
+double quantile(std::span<const double> values, double q);
+
+/// One-call descriptive summary of a sample (quantiles via quantile()).
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summary of `values`; same preconditions as quantile() (throws on empty
+/// input or NaN samples).
+Summary summarize(std::span<const double> values);
+
+/// Quantile estimate from fixed-bucket histogram counts (the obs metrics
+/// export). `counts` has upper_bounds.size() + 1 entries, the last being the
+/// +inf overflow bucket. Interpolates linearly inside the selected bucket
+/// (lower edge of the first bucket is min(0, upper_bounds[0])); ranks landing
+/// in the overflow bucket return upper_bounds.back(), the largest finite
+/// statement the histogram can make. Returns 0 when all counts are zero;
+/// throws std::invalid_argument on q outside [0, 1] or a size mismatch.
+double histogram_quantile(std::span<const double> upper_bounds,
+                          std::span<const std::uint64_t> counts, double q);
 
 /// Simple fixed-width histogram over [lo, hi); out-of-range samples clamp
 /// into the first/last bin. Used by characterization diagnostics.

@@ -1,0 +1,268 @@
+// Unit coverage for the observability layer (src/obs): metrics registry
+// merge semantics, trace span recording + Chrome export, and the determinism
+// contract (telemetry on/off never changes computed results).
+//
+// Note: the registry and trace state are process singletons, so every test
+// uses its own metric names and resets buffered values up front.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "thermal/fast_model.h"
+#include "thermal/resistance_table.h"
+#include "util/json.h"
+
+namespace rlplan::obs {
+namespace {
+
+const MetricValue* find_metric(const std::vector<MetricValue>& snap,
+                               const std::string& name) {
+  for (const MetricValue& m : snap) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+    reset_trace();
+  }
+  void TearDown() override { set_enabled(false); }
+};
+
+TEST_F(ObsTest, CounterMergesThreadShardsExactly) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  const Counter c = MetricsRegistry::instance().counter("test.merge.counter");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const MetricValue* m = find_metric(snap, "test.merge.counter");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kCounter);
+  EXPECT_EQ(m->count, kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, MacroCounterCountsAndDisabledMacroDoesNot) {
+  for (int i = 0; i < 5; ++i) RLPLAN_COUNTER_INC("test.macro.counter");
+  set_metrics_enabled(false);
+  for (int i = 0; i < 100; ++i) RLPLAN_COUNTER_INC("test.macro.counter");
+  set_metrics_enabled(true);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const MetricValue* m = find_metric(snap, "test.macro.counter");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 5u);
+}
+
+TEST_F(ObsTest, GaugeTracksLastValueAndPeak) {
+  const Gauge g = MetricsRegistry::instance().gauge("test.gauge");
+  g.set(10);
+  g.set(42);
+  g.set(7);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const MetricValue* m = find_metric(snap, "test.gauge");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kGauge);
+  EXPECT_EQ(m->value, 7);
+  EXPECT_EQ(m->peak, 42);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
+  const std::array<double, 3> bounds = {1.0, 2.0, 4.0};
+  const HistogramMetric h =
+      MetricsRegistry::instance().histogram("test.hist", bounds);
+  h.observe(0.5);   // bucket 0
+  h.observe(1.5);   // bucket 1
+  h.observe(3.0);   // bucket 2
+  h.observe(100.0); // overflow
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const MetricValue* m = find_metric(snap, "test.hist");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kHistogram);
+  EXPECT_EQ(m->samples, 4u);
+  EXPECT_DOUBLE_EQ(m->sum, 105.0);
+  EXPECT_DOUBLE_EQ(m->min, 0.5);
+  EXPECT_DOUBLE_EQ(m->max, 100.0);
+  ASSERT_EQ(m->buckets.size(), 4u);
+  EXPECT_EQ(m->buckets[0], 1u);
+  EXPECT_EQ(m->buckets[1], 1u);
+  EXPECT_EQ(m->buckets[2], 1u);
+  EXPECT_EQ(m->buckets[3], 1u);
+  // Quantile estimates stay within the bucket layout.
+  EXPECT_GE(m->p50, 1.0);
+  EXPECT_LE(m->p50, 2.0);
+  EXPECT_DOUBLE_EQ(m->p99, 4.0);  // overflow mass clamps to the last bound
+}
+
+TEST_F(ObsTest, RegistrationIsIdempotentButKindConflictThrows) {
+  const Counter a = MetricsRegistry::instance().counter("test.kind");
+  const Counter b = MetricsRegistry::instance().counter("test.kind");
+  a.add(1);
+  b.add(1);
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const MetricValue* m = find_metric(snap, "test.kind");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 2u);  // same slot, not two metrics
+  EXPECT_THROW((void)MetricsRegistry::instance().gauge("test.kind"),
+               std::exception);
+  EXPECT_THROW((void)MetricsRegistry::instance().histogram("test.kind"),
+               std::exception);
+}
+
+TEST_F(ObsTest, ResetZerosValuesButKeepsDefinitions) {
+  const Counter c = MetricsRegistry::instance().counter("test.reset");
+  c.add(5);
+  MetricsRegistry::instance().reset();
+  const auto snap = MetricsRegistry::instance().snapshot();
+  const MetricValue* m = find_metric(snap, "test.reset");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 0u);
+}
+
+TEST_F(ObsTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry::instance().counter("test.json.counter").add(3);
+  const util::JsonValue json = MetricsRegistry::instance().snapshot_json();
+  ASSERT_TRUE(json.is_array());
+  bool found = false;
+  for (const util::JsonValue& row : json.as_array()) {
+    if (row.string_or("name", "") == "test.json.counter") {
+      found = true;
+      EXPECT_DOUBLE_EQ(row.number_or("count", -1.0), 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, SpansRecordNestAndExport) {
+  {
+    RLPLAN_TRACE_SPAN("test.outer", 7);
+    {
+      RLPLAN_TRACE_SPAN("test.inner");
+    }
+  }
+  const TraceStats stats = trace_stats();
+  EXPECT_EQ(stats.recorded, 2u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GE(stats.threads, 1u);
+
+  const util::JsonValue trace = chrome_trace_json();
+  const util::JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  const util::JsonValue* outer = nullptr;
+  const util::JsonValue* inner = nullptr;
+  for (const util::JsonValue& e : events->as_array()) {
+    if (e.string_or("name", "") == "test.outer") outer = &e;
+    if (e.string_or("name", "") == "test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->string_or("ph", ""), "X");
+  EXPECT_EQ(outer->string_or("cat", ""), "test");
+  // The arg tag is exported as args.v.
+  const util::JsonValue* args = outer->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->number_or("v", -1.0), 7.0);
+  // Nesting: inner starts no earlier and ends no later than outer.
+  const double o_ts = outer->number_or("ts", -1.0);
+  const double o_end = o_ts + outer->number_or("dur", 0.0);
+  const double i_ts = inner->number_or("ts", -1.0);
+  const double i_end = i_ts + inner->number_or("dur", 0.0);
+  EXPECT_GE(i_ts, o_ts);
+  EXPECT_LE(i_end, o_end);
+}
+
+TEST_F(ObsTest, DisabledSpanRecordsNothing) {
+  set_trace_enabled(false);
+  {
+    RLPLAN_TRACE_SPAN("test.should_not_appear");
+  }
+  set_trace_enabled(true);
+  EXPECT_EQ(trace_stats().recorded, 0u);
+}
+
+TEST_F(ObsTest, ResetTraceDropsBufferedEvents) {
+  {
+    RLPLAN_TRACE_SPAN("test.reset_me");
+  }
+  EXPECT_EQ(trace_stats().recorded, 1u);
+  reset_trace();
+  EXPECT_EQ(trace_stats().recorded, 0u);
+}
+
+TEST_F(ObsTest, TraceSummaryAggregatesPerName) {
+  for (int i = 0; i < 3; ++i) {
+    RLPLAN_TRACE_SPAN("test.summary");
+  }
+  const util::JsonValue summary = trace_summary_json();
+  ASSERT_TRUE(summary.is_array());
+  bool found = false;
+  for (const util::JsonValue& row : summary.as_array()) {
+    if (row.string_or("name", "") == "test.summary") {
+      found = true;
+      EXPECT_DOUBLE_EQ(row.number_or("count", -1.0), 3.0);
+      EXPECT_GE(row.number_or("total_ms", -1.0), 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The determinism contract: running the instrumented thermal hot path with
+// telemetry enabled must produce bit-identical results to running it
+// disabled.
+TEST_F(ObsTest, TelemetryNeverChangesThermalResults) {
+  std::vector<double> dims = {2.0, 10.0, 20.0};
+  std::vector<std::vector<double>> self_vals(3, std::vector<double>(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      self_vals[i][j] = 3.0 / (1.0 + 0.04 * dims[i] * dims[j]);
+    }
+  }
+  std::vector<double> distances, mutual_vals;
+  for (double d = 0.0; d <= 80.0; d += 2.0) {
+    distances.push_back(d);
+    mutual_vals.push_back(0.02 + 0.8 * std::exp(-d / 10.0));
+  }
+  const thermal::FastThermalModel model(
+      thermal::SelfResistanceTable(dims, dims, self_vals),
+      thermal::MutualResistanceTable(distances, mutual_vals), 45.0, {});
+  const ChipletSystem sys(
+      "obs", 60.0, 60.0,
+      {{"a", 8.0, 8.0, 5.0}, {"b", 10.0, 10.0, 8.0}, {"c", 6.0, 6.0, 3.0}},
+      {});
+  Floorplan fp(sys);
+  fp.place(0, {5.0, 5.0}, false);
+  fp.place(1, {30.0, 10.0}, false);
+  fp.place(2, {15.0, 40.0}, false);
+
+  set_enabled(false);
+  const thermal::FastThermalResult off = model.evaluate(sys, fp);
+  set_enabled(true);
+  const thermal::FastThermalResult on = model.evaluate(sys, fp);
+  set_enabled(false);
+
+  EXPECT_EQ(off.max_temp_c, on.max_temp_c);  // bit-exact, not approximate
+  ASSERT_EQ(off.chiplet_temp_c.size(), on.chiplet_temp_c.size());
+  for (std::size_t i = 0; i < off.chiplet_temp_c.size(); ++i) {
+    EXPECT_EQ(off.chiplet_temp_c[i], on.chiplet_temp_c[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rlplan::obs

@@ -24,6 +24,8 @@
 //                              the batched SoA thermal kernel (default 1 =
 //                              classic incremental-protocol anneal)
 //           [--list]           print the suite and exit
+//           [--trace=t.json]   write a Chrome trace of the whole run
+//           [--metrics=m.jsonl] write the merged metrics registry (JSONL)
 //
 // Both legs' best floorplans are additionally re-scored on the fast model
 // through ONE FastThermalModel::evaluate_batch() call per scenario; the
@@ -42,6 +44,8 @@
 #include "bench/bench_util.h"
 #include "bump/assigner.h"
 #include "core/reward.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "rl/planner.h"  // first_fit_floorplan fallback
 #include "rl/session.h"
@@ -52,6 +56,7 @@
 #include "thermal/grid_solver.h"
 #include "thermal/incremental.h"
 #include "util/json.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace {
@@ -71,13 +76,16 @@ struct LegResult {
   double reward = 0.0;
   double throughput = 0.0;      ///< SA: evals/s, RL: env steps/s
   long work = 0;                ///< SA: evaluations, RL: env steps
-  double seconds = 0.0;
+  double seconds = 0.0;         ///< optimizer wall time (excludes scoring)
+  double truth_seconds = 0.0;   ///< ground-truth grid solve of the result
+  double fast_seconds = 0.0;    ///< fast-model time inside the optimizer
   std::optional<Floorplan> best;  ///< the floorplan behind the scores
 };
 
 struct ScenarioResult {
   std::string name;
   std::size_t chiplets = 0;
+  double fast_score_seconds = 0.0;  ///< one batched SoA re-score of the bests
   LegResult sa;
   LegResult rl;
   std::vector<std::string> failures;  ///< empty = within envelope
@@ -123,6 +131,64 @@ class ModelCache {
   std::map<std::pair<double, double>, Entry> models_;
 };
 
+/// Forwarding decorator accumulating wall time spent inside the wrapped
+/// evaluator — the honest "fast-model share" denominator for the breakdown
+/// table (one steady_clock pair per query, ~40 ns against µs-scale evals).
+/// Single-lane use only (one scenario leg); clone() stays unavailable, which
+/// is fine because both legs run their optimizers serially within a lane.
+class TimedEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  explicit TimedEvaluator(std::unique_ptr<thermal::ThermalEvaluator> inner)
+      : inner_(std::move(inner)) {}
+
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    const Timer t;
+    const double v = inner_->max_temperature(system, floorplan);
+    seconds_ += t.seconds();
+    return v;
+  }
+  std::vector<double> max_temperature_batch(
+      const ChipletSystem& system, std::span<const Floorplan> floorplans,
+      parallel::ThreadPool* pool = nullptr) override {
+    const Timer t;
+    auto v = inner_->max_temperature_batch(system, floorplans, pool);
+    seconds_ += t.seconds();
+    return v;
+  }
+  long num_evaluations() const override { return inner_->num_evaluations(); }
+  std::string name() const override { return inner_->name(); }
+
+  bool supports_incremental() const override {
+    return inner_->supports_incremental();
+  }
+  void notify_reset(const ChipletSystem& system) override {
+    inner_->notify_reset(system);
+  }
+  void notify_place(const ChipletSystem& system, std::size_t i,
+                    const Placement& p) override {
+    const Timer t;
+    inner_->notify_place(system, i, p);
+    seconds_ += t.seconds();
+  }
+  void notify_remove(std::size_t i) override { inner_->notify_remove(i); }
+  void commit() override { inner_->commit(); }
+  void rollback() override { inner_->rollback(); }
+  double incremental_max_temperature(const ChipletSystem& system,
+                                     const Floorplan& floorplan) override {
+    const Timer t;
+    const double v = inner_->incremental_max_temperature(system, floorplan);
+    seconds_ += t.seconds();
+    return v;
+  }
+
+  double seconds() const { return seconds_; }
+
+ private:
+  std::unique_ptr<thermal::ThermalEvaluator> inner_;
+  double seconds_ = 0.0;
+};
+
 LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
                      const thermal::FastThermalModel& model,
                      const thermal::LayerStack& stack,
@@ -138,7 +204,8 @@ LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
   tc.population = sa_population;
   tc.batch_threads = 0;
   sa::Tap25dPlanner planner(tc);
-  thermal::IncrementalFastModelEvaluator evaluator(model);
+  TimedEvaluator evaluator(
+      std::make_unique<thermal::IncrementalFastModelEvaluator>(model));
   const RewardCalculator rc;
   const bump::BumpAssigner assigner;
 
@@ -148,12 +215,15 @@ LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
   LegResult leg;
   leg.ran = true;
   leg.seconds = timer.seconds();
+  leg.fast_seconds = evaluator.seconds();
   leg.legal = result.best.is_complete() && result.best.is_legal();
   leg.work = result.stats.evaluations;
   leg.throughput = result.evaluations_per_second();
   leg.wirelength_mm = assigner.assign(system, result.best).total_mm;
   thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
+  const Timer truth_timer;
   leg.temp_c = truth.solve(system, result.best).max_temp_c;
+  leg.truth_seconds = truth_timer.seconds();
   leg.reward = rc.reward(leg.wirelength_mm, leg.temp_c);
   leg.best = result.best;
   return leg;
@@ -172,9 +242,10 @@ LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
   sc.ppo.episodes_per_update = scenario.budget.rl_episodes_per_update;
   sc.seed = scenario.seed;
   std::vector<rl::SessionTask> tasks;
-  tasks.push_back(
-      {scenario.name, &system,
-       std::make_unique<thermal::IncrementalFastModelEvaluator>(model)});
+  auto timed = std::make_unique<TimedEvaluator>(
+      std::make_unique<thermal::IncrementalFastModelEvaluator>(model));
+  const TimedEvaluator* timed_view = timed.get();  // session owns it
+  tasks.push_back({scenario.name, &system, std::move(timed)});
   rl::TrainingSession session(sc, std::move(tasks));
 
   const Timer timer;
@@ -185,6 +256,7 @@ LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
   LegResult leg;
   leg.ran = true;
   leg.seconds = timer.seconds();
+  leg.fast_seconds = timed_view->seconds();
   leg.work = session.total_env_steps();
   leg.throughput =
       leg.seconds > 0.0 ? static_cast<double>(leg.work) / leg.seconds : 0.0;
@@ -204,7 +276,9 @@ LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
   const bump::BumpAssigner assigner;
   leg.wirelength_mm = assigner.assign(system, *best).total_mm;
   thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
+  const Timer truth_timer;
   leg.temp_c = truth.solve(system, *best).max_temp_c;
+  leg.truth_seconds = truth_timer.seconds();
   leg.reward = RewardCalculator{}.reward(leg.wirelength_mm, leg.temp_c);
   leg.best = std::move(best);
   return leg;
@@ -212,9 +286,9 @@ LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
 
 /// Re-scores every leg's best floorplan on the fast model through one
 /// batched SoA call — the surrogate-vs-truth fidelity column of the report.
-void score_legs_fast(const ChipletSystem& system,
-                     const thermal::FastThermalModel& model,
-                     std::vector<LegResult*> legs) {
+double score_legs_fast(const ChipletSystem& system,
+                       const thermal::FastThermalModel& model,
+                       std::vector<LegResult*> legs) {
   std::vector<Floorplan> candidates;
   std::vector<LegResult*> owners;
   for (LegResult* leg : legs) {
@@ -223,12 +297,14 @@ void score_legs_fast(const ChipletSystem& system,
       owners.push_back(leg);
     }
   }
-  if (candidates.empty()) return;
+  if (candidates.empty()) return 0.0;
+  const Timer timer;
   const auto results = model.evaluate_batch(
       system, std::span<const Floorplan>(candidates));
   for (std::size_t i = 0; i < owners.size(); ++i) {
     owners[i]->fast_temp_c = results[i].max_temp_c;
   }
+  return timer.seconds();
 }
 
 void check_leg(const char* tag, const LegResult& leg,
@@ -284,7 +360,7 @@ ScenarioResult run_scenario(const Scenario& scenario, ModelCache& models,
                 scenario.envelope.min_rl_steps_per_sec, perf_scale,
                 r.failures);
     }
-    score_legs_fast(system, model, {&r.sa, &r.rl});
+    r.fast_score_seconds = score_legs_fast(system, model, {&r.sa, &r.rl});
   } catch (const std::exception& e) {
     r.error = e.what();
   }
@@ -301,6 +377,8 @@ util::JsonValue leg_to_json(const LegResult& leg) {
   j.set("work", leg.work);
   j.set("per_sec", leg.throughput);
   j.set("seconds", leg.seconds);
+  j.set("truth_seconds", leg.truth_seconds);
+  j.set("fast_model_seconds", leg.fast_seconds);
   return j;
 }
 
@@ -327,6 +405,7 @@ util::JsonValue report_to_json(const std::string& suite,
     row.set("failures", std::move(failures));
     if (r.sa.ran) row.set("sa", leg_to_json(r.sa));
     if (r.rl.ran) row.set("rl", leg_to_json(r.rl));
+    row.set("fast_score_seconds", r.fast_score_seconds);
     rows.push_back(std::move(row));
   }
   j.set("scenarios", std::move(rows));
@@ -350,6 +429,14 @@ int main(int argc, char** argv) {
   auto threads = static_cast<std::size_t>(bench::flag_int(
       argc, argv, "threads",
       static_cast<long>(parallel::ThreadPool::hardware_threads())));
+  // Telemetry side channel: spans/counters from every layer the scenarios
+  // exercise. Enabling it never changes scores (CI proves determinism).
+  const std::string trace_path = bench::flag_str(argc, argv, "trace", "");
+  const std::string metrics_path = bench::flag_str(argc, argv, "metrics", "");
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::set_enabled(true);
+    set_log_prefix(true);
+  }
 
   std::vector<Scenario> suite;
   try {
@@ -415,6 +502,31 @@ int main(int argc, char** argv) {
       std::printf("%-24s breach: %s\n", r.name.c_str(), f.c_str());
     }
   }
+  // Per-scenario time breakdown: where each scenario's wall time went — the
+  // SA and RL optimizer legs, the ground-truth grid solves that score them,
+  // and how much of the optimizer time the fast thermal model consumed (the
+  // paper's speed/accuracy trade, measured per scenario instead of assumed).
+  std::printf("\n%-24s %8s %8s %9s %9s %11s\n", "Scenario", "sa(s)", "rl(s)",
+              "truth(s)", "fast(s)", "fast-share");
+  double tot_sa = 0.0, tot_rl = 0.0, tot_truth = 0.0, tot_fast = 0.0;
+  for (const ScenarioResult& r : results) {
+    const double truth_s = r.sa.truth_seconds + r.rl.truth_seconds;
+    const double fast_s =
+        r.sa.fast_seconds + r.rl.fast_seconds + r.fast_score_seconds;
+    const double opt_s = r.sa.seconds + r.rl.seconds;
+    tot_sa += r.sa.seconds;
+    tot_rl += r.rl.seconds;
+    tot_truth += truth_s;
+    tot_fast += fast_s;
+    std::printf("%-24s %8.2f %8.2f %9.2f %9.2f %10.1f%%\n", r.name.c_str(),
+                r.sa.seconds, r.rl.seconds, truth_s, fast_s,
+                opt_s > 0.0 ? 100.0 * fast_s / opt_s : 0.0);
+  }
+  const double tot_opt = tot_sa + tot_rl;
+  std::printf("%-24s %8.2f %8.2f %9.2f %9.2f %10.1f%%\n", "TOTAL", tot_sa,
+              tot_rl, tot_truth, tot_fast,
+              tot_opt > 0.0 ? 100.0 * tot_fast / tot_opt : 0.0);
+
   std::printf("\n[regress] %zu/%zu scenarios within envelopes (%.1f s)\n",
               results.size() - failed, results.size(), total_s);
 
@@ -423,6 +535,16 @@ int main(int argc, char** argv) {
                           report_to_json(suite_dir, results, perf_scale,
                                          lanes));
     std::fprintf(stderr, "[regress] wrote %s\n", json_path.c_str());
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(trace_path);
+      std::fprintf(stderr, "[regress] wrote trace to %s\n",
+                   trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry::instance().write_jsonl(metrics_path);
+      std::fprintf(stderr, "[regress] wrote metrics to %s\n",
+                   metrics_path.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[regress] %s\n", e.what());
     return 2;

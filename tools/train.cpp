@@ -43,6 +43,8 @@
 
 #include "bench/bench_util.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/session.h"
 #include "systems/scenario.h"
 #include "systems/synthetic.h"
@@ -50,6 +52,7 @@
 #include "thermal/incremental.h"
 #include "thermal/layer_stack.h"
 #include "util/json.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace {
@@ -425,11 +428,43 @@ int cmd_bench(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const std::string cmd = argc > 1 && argv[1][0] != '-' ? argv[1] : "";
+  // Telemetry side channel: --metrics already means "training JSONL" here,
+  // so the metrics registry export rides on --obs-metrics instead. Both
+  // flags turn telemetry on; neither changes any training output.
+  const std::string trace_path =
+      rlplan::bench::flag_str(argc, argv, "trace", "");
+  const std::string obs_metrics_path =
+      rlplan::bench::flag_str(argc, argv, "obs-metrics", "");
+  if (!trace_path.empty() || !obs_metrics_path.empty()) {
+    rlplan::obs::set_enabled(true);
+    rlplan::set_log_prefix(true);
+  }
+  const auto write_telemetry = [&] {
+    if (!trace_path.empty()) {
+      rlplan::obs::write_chrome_trace(trace_path);
+      std::fprintf(stderr, "[train] wrote trace to %s\n", trace_path.c_str());
+    }
+    if (!obs_metrics_path.empty()) {
+      rlplan::obs::MetricsRegistry::instance().write_jsonl(obs_metrics_path);
+      std::fprintf(stderr, "[train] wrote metrics to %s\n",
+                   obs_metrics_path.c_str());
+    }
+  };
   try {
-    if (cmd == "train") return cmd_train_or_resume(argc, argv, false);
-    if (cmd == "resume") return cmd_train_or_resume(argc, argv, true);
-    if (cmd == "eval") return cmd_eval(argc, argv);
-    if (cmd == "bench") return cmd_bench(argc, argv);
+    int rc = 2;
+    if (cmd == "train") {
+      rc = cmd_train_or_resume(argc, argv, false);
+    } else if (cmd == "resume") {
+      rc = cmd_train_or_resume(argc, argv, true);
+    } else if (cmd == "eval") {
+      rc = cmd_eval(argc, argv);
+    } else if (cmd == "bench") {
+      rc = cmd_bench(argc, argv);
+    }
+    if (!cmd.empty()) {
+      write_telemetry();
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[train] %s\n", e.what());
     return 2;
@@ -444,6 +479,8 @@ int main(int argc, char** argv) {
                "  train resume --from=CKPT --scenarios=... --epochs=N\n"
                "  train eval   --from=CKPT --scenarios=...\n"
                "  train bench  [--json=BENCH_train.json] "
-               "[--min-steps-per-sec=F] [--envs=4]\n");
+               "[--min-steps-per-sec=F] [--envs=4]\n"
+               "  any command: [--trace=trace.json] "
+               "[--obs-metrics=obs.jsonl] (telemetry side channel)\n");
   return 2;
 }
