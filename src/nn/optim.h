@@ -41,6 +41,21 @@ class Adam {
   void save_state(StateWriter& w, const std::string& prefix) const;
   void load_state(StateReader& r, const std::string& prefix);
 
+  /// In-memory copy of the full optimizer state (step count + moments), for
+  /// the PPO NaN-guard's restore-last-good path. Cheap next to an update
+  /// pass: two tensor copies per parameter.
+  struct Snapshot {
+    long t = 0;
+    std::vector<Tensor> m, v;
+  };
+  Snapshot snapshot() const { return {t_, m_, v_}; }
+  /// Restores a snapshot taken from THIS optimizer (same parameter list).
+  void restore(const Snapshot& s) {
+    t_ = s.t;
+    m_ = s.m;
+    v_ = s.v;
+  }
+
  private:
   std::vector<Parameter*> params_;
   AdamConfig config_;

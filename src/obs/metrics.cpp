@@ -8,6 +8,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/fs.h"
 #include "util/json.h"
 #include "util/stats.h"
 
@@ -317,14 +318,7 @@ void MetricsRegistry::write_jsonl(const std::string& path) const {
     text += row.dump(0);
     text += '\n';
   }
-  // Reuse the JSON writer's error handling by writing via std::ofstream-free
-  // helper: write_json_file expects a JsonValue, so emit manually.
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw util::JsonError("cannot open metrics output: " + path);
-  }
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  util::atomic_write_file(path, text);
 }
 
 void MetricsRegistry::reset() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/fs.h"
 #include "util/json.h"
 #include "util/stats.h"
 
@@ -271,12 +272,7 @@ void write_trace_summary(const std::string& path) {
     text += row.dump(0);
     text += '\n';
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw util::JsonError("cannot open trace summary output: " + path);
-  }
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  util::atomic_write_file(path, text);
 }
 
 }  // namespace rlplan::obs

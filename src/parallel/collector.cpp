@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "nn/layers.h"
+#include "obs/metrics.h"
 #include "rl/distribution.h"
 
 namespace rlplan::parallel {
@@ -12,9 +13,11 @@ CollectorStats collect_episodes(std::span<const EnvSlot> slots,
                                 rl::PolicyValueNet& net,
                                 std::size_t min_episodes,
                                 rl::RolloutBuffer& out, ThreadPool* pool,
-                                const EpisodeCallback& on_episode_end) {
+                                const EpisodeCallback& on_episode_end,
+                                const robust::RunControl& control) {
   CollectorStats stats;
   if (min_episodes == 0 || slots.empty()) return stats;
+  const bool controlled = control.active();
 
   const std::size_t n = slots.size();
   const std::size_t c = rl::FloorplanEnv::kChannels;
@@ -37,6 +40,14 @@ CollectorStats collect_episodes(std::span<const EnvSlot> slots,
 
   double reward_best = -std::numeric_limits<double>::infinity();
   for (;;) {
+    // Collection-batch granularity stop: episodes completed so far are
+    // already flushed to `out`; in-flight partial episodes are dropped (the
+    // buffer stays episode-aligned).
+    if (controlled && control.stop_requested()) {
+      stats.stop_reason = control.stop_reason();
+      RLPLAN_COUNTER_INC("robust.degraded");
+      break;
+    }
     live_index.clear();
     for (std::size_t e = 0; e < n; ++e) {
       if (live[e]) live_index.push_back(e);
@@ -142,14 +153,14 @@ ParallelRolloutCollector::~ParallelRolloutCollector() {
 
 CollectorStats ParallelRolloutCollector::collect(
     rl::PolicyValueNet& net, std::size_t min_episodes, rl::RolloutBuffer& out,
-    const EpisodeCallback& on_episode_end) {
+    const EpisodeCallback& on_episode_end, const robust::RunControl& control) {
   std::vector<EnvSlot> slots;
   slots.reserve(venv_->size());
   for (std::size_t e = 0; e < venv_->size(); ++e) {
     slots.push_back({&venv_->env(e), &venv_->rng(e)});
   }
   return collect_episodes(slots, net, min_episodes, out, pool_,
-                          on_episode_end);
+                          on_episode_end, control);
 }
 
 }  // namespace rlplan::parallel

@@ -38,16 +38,24 @@
 #include "rl/env.h"
 #include "rl/policy_net.h"
 #include "rl/rollout.h"
+#include "robust/robust.h"
 
 namespace rlplan::parallel {
 
 /// Aggregate statistics of one collect() call.
 struct CollectorStats {
   std::size_t steps = 0;      ///< transitions appended to the buffer
-  std::size_t episodes = 0;   ///< completed episodes (>= min_episodes)
+  std::size_t episodes = 0;   ///< completed episodes (>= min_episodes,
+                              ///< unless the run was stopped early)
   std::size_t dead_ends = 0;  ///< episodes that ended with no feasible action
   double reward_sum = 0.0;    ///< sum of terminal extrinsic rewards
   double reward_best = 0.0;   ///< best terminal reward (valid iff episodes>0)
+  /// kNone when the quota was met; otherwise the control stopped collection
+  /// at a batch boundary — only the episodes completed by then are in the
+  /// buffer (a deterministic prefix of the uncancelled run's episodes).
+  robust::StopReason stop_reason = robust::StopReason::kNone;
+
+  bool degraded() const { return stop_reason != robust::StopReason::kNone; }
 };
 
 /// One environment replica plus its private action-sampling stream.
@@ -70,7 +78,8 @@ CollectorStats collect_episodes(std::span<const EnvSlot> slots,
                                 rl::PolicyValueNet& net,
                                 std::size_t min_episodes,
                                 rl::RolloutBuffer& out, ThreadPool* pool,
-                                const EpisodeCallback& on_episode_end = {});
+                                const EpisodeCallback& on_episode_end = {},
+                                const robust::RunControl& control = {});
 
 /// Convenience wrapper binding collect_episodes() to a VecEnv's replicas and
 /// RNG streams. While alive, it also installs the pool as the nn batch
@@ -94,7 +103,8 @@ class ParallelRolloutCollector {
   /// is met) and appends their transitions to `out`.
   CollectorStats collect(rl::PolicyValueNet& net, std::size_t min_episodes,
                          rl::RolloutBuffer& out,
-                         const EpisodeCallback& on_episode_end = {});
+                         const EpisodeCallback& on_episode_end = {},
+                         const robust::RunControl& control = {});
 
  private:
   VecEnv* venv_;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "robust/fault.h"
 
 namespace rlplan::parallel {
 
@@ -82,7 +83,12 @@ void ThreadPool::parallel_for(std::size_t n,
   RLPLAN_GAUGE_SET("pool.queue_depth", n);
   RLPLAN_COUNTER_ADD("pool.tasks", n);
   const std::uint64_t call_t0 = now_ns();
-  if (workers_.empty() || n == 1) {
+  // Chaos site "pool_dispatch": a worker-dispatch fault degrades to inline
+  // execution on the caller. Results are bit-identical (fn(i) writes only
+  // slot i), so this is the pool's graceful-degradation path.
+  const bool dispatch_fault = robust::fault_point("pool_dispatch");
+  if (dispatch_fault) RLPLAN_COUNTER_INC("pool.dispatch_degraded");
+  if (workers_.empty() || n == 1 || dispatch_fault) {
     const std::uint64_t t0 = call_t0;
     for (std::size_t i = 0; i < n; ++i) fn(i);
     const std::uint64_t dt = now_ns() - t0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "obs/trace.h"
 #include "parallel/collector.h"
 #include "rl/distribution.h"
+#include "robust/fault.h"
 #include "util/log.h"
 
 namespace rlplan::rl {
@@ -42,6 +44,17 @@ void PpoCore::fill_intrinsic(RolloutBuffer& buffer) {
 }
 
 void PpoCore::update(RolloutBuffer& buffer, TrainStats& stats) {
+  // NaN-guard snapshot: last-good weights + optimizer state, restored
+  // bit-exactly if this update goes non-finite. Always on — real numerical
+  // blow-ups do not wait for chaos runs — and cheap next to the minibatch
+  // passes (one copy of the parameters vs update_epochs forward/backwards).
+  std::vector<nn::Tensor> last_good_params;
+  last_good_params.reserve(net_.parameters().size());
+  for (const nn::Parameter* p : net_.parameters()) {
+    last_good_params.push_back(p->value);
+  }
+  const nn::Adam::Snapshot last_good_opt = optimizer_.snapshot();
+
   // Reward normalization: divide by the running std of episode rewards so
   // value targets are O(1) regardless of the objective's physical scale.
   if (config_.normalize_rewards && rew_n_ >= 2) {
@@ -70,86 +83,110 @@ void PpoCore::update(RolloutBuffer& buffer, TrainStats& stats) {
   double kl_sum = 0.0, grad_norm_sum = 0.0;
   std::size_t sample_count = 0, batch_count = 0;
 
-  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
-    // Deterministic Fisher-Yates shuffle per epoch.
-    for (std::size_t i = order.size(); i > 1; --i) {
-      std::swap(order[i - 1], order[rng_.uniform_int(std::uint64_t{i})]);
-    }
-    for (std::size_t start = 0; start < n; start += config_.minibatch) {
-      const std::size_t count = std::min(config_.minibatch, n - start);
+  // Chaos site "ppo_nan": one decision per update; when it fires, the first
+  // minibatch's gradient is poisoned so the guard below must catch the
+  // resulting non-finite weights and roll the whole update back.
+  bool inject_nan = robust::fault_point("ppo_nan");
 
-      nn::Tensor batch({count, c, g, g});
-      for (std::size_t b = 0; b < count; ++b) {
-        const Transition& tr = buffer.step(order[start + b]);
-        std::copy(tr.state.data().begin(), tr.state.data().end(),
-                  batch.data().begin() +
-                      static_cast<std::ptrdiff_t>(b * tr.state.numel()));
+  // Non-finite weights do not always survive to the post-loop scan: NaN
+  // logits make the masked softmax throw ("no feasible action") on the very
+  // next minibatch. A throw mid-update is therefore treated exactly like a
+  // failed finiteness scan — roll the whole update back.
+  bool update_threw = false;
+  try {
+    for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+      // Deterministic Fisher-Yates shuffle per epoch.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng_.uniform_int(std::uint64_t{i})]);
       }
+      for (std::size_t start = 0; start < n; start += config_.minibatch) {
+        const std::size_t count = std::min(config_.minibatch, n - start);
 
-      PolicyValueNet::Output out = net_.forward(batch);
-      nn::Tensor grad_logits({count, num_actions});
-      nn::Tensor grad_value({count, std::size_t{1}});
-      const float inv_count = 1.0f / static_cast<float>(count);
-
-      for (std::size_t b = 0; b < count; ++b) {
-        const Transition& tr = buffer.step(order[start + b]);
-        const float adv = buffer.advantages()[order[start + b]];
-        const float ret = buffer.returns()[order[start + b]];
-
-        const std::span<const float> logits_row(
-            out.logits.data().data() + b * num_actions, num_actions);
-        const MaskedCategorical dist(logits_row, tr.mask);
-        const float logp_new = dist.log_prob(tr.action);
-        const float ratio = std::exp(logp_new - tr.log_prob);
-        const float entropy = dist.entropy();
-
-        // Clipped surrogate: L = -min(ratio*A, clip(ratio)*A).
-        const float unclipped = ratio * adv;
-        const float clipped =
-            std::clamp(ratio, 1.0f - config_.clip, 1.0f + config_.clip) * adv;
-        policy_loss_sum += -std::min(unclipped, clipped);
-        kl_sum += tr.log_prob - logp_new;
-        entropy_sum += entropy;
-
-        // d(-min)/dlogp_new: zero when the clipped branch is active.
-        float dl_dlogp = 0.0f;
-        const bool clip_active =
-            (adv >= 0.0f && ratio > 1.0f + config_.clip) ||
-            (adv < 0.0f && ratio < 1.0f - config_.clip);
-        if (!clip_active) dl_dlogp = -adv * ratio;
-        dl_dlogp *= inv_count;
-
-        // dlogp_a/dlogit_k = delta_ak - p_k (restricted to the mask support);
-        // entropy term: dH/dlogit_k = -p_k (log p_k + H).
-        const auto& probs = dist.probs();
-        for (std::size_t k = 0; k < num_actions; ++k) {
-          const float p = probs[k];
-          float grad = 0.0f;
-          if (p > 0.0f) {
-            const float delta_ak = (k == tr.action) ? 1.0f : 0.0f;
-            grad += dl_dlogp * (delta_ak - p);
-            const float logp_k = std::log(p);
-            grad += config_.ent_coef * inv_count * p * (logp_k + entropy);
-          }
-          grad_logits.at(b, k) = grad;
+        nn::Tensor batch({count, c, g, g});
+        for (std::size_t b = 0; b < count; ++b) {
+          const Transition& tr = buffer.step(order[start + b]);
+          std::copy(tr.state.data().begin(), tr.state.data().end(),
+                    batch.data().begin() +
+                        static_cast<std::ptrdiff_t>(b * tr.state.numel()));
         }
 
-        // Value head: vf_coef * (v - ret)^2, mean over batch.
-        const float v = out.value.at(b, 0);
-        value_loss_sum += static_cast<double>(v - ret) * (v - ret);
-        grad_value.at(b, 0) =
-            config_.vf_coef * 2.0f * (v - ret) * inv_count;
+        PolicyValueNet::Output out = net_.forward(batch);
+        nn::Tensor grad_logits({count, num_actions});
+        nn::Tensor grad_value({count, std::size_t{1}});
+        const float inv_count = 1.0f / static_cast<float>(count);
+
+        for (std::size_t b = 0; b < count; ++b) {
+          const Transition& tr = buffer.step(order[start + b]);
+          const float adv = buffer.advantages()[order[start + b]];
+          const float ret = buffer.returns()[order[start + b]];
+
+          const std::span<const float> logits_row(
+              out.logits.data().data() + b * num_actions, num_actions);
+          const MaskedCategorical dist(logits_row, tr.mask);
+          const float logp_new = dist.log_prob(tr.action);
+          const float ratio = std::exp(logp_new - tr.log_prob);
+          const float entropy = dist.entropy();
+
+          // Clipped surrogate: L = -min(ratio*A, clip(ratio)*A).
+          const float unclipped = ratio * adv;
+          const float clipped =
+              std::clamp(ratio, 1.0f - config_.clip, 1.0f + config_.clip) * adv;
+          policy_loss_sum += -std::min(unclipped, clipped);
+          kl_sum += tr.log_prob - logp_new;
+          entropy_sum += entropy;
+
+          // d(-min)/dlogp_new: zero when the clipped branch is active.
+          float dl_dlogp = 0.0f;
+          const bool clip_active =
+              (adv >= 0.0f && ratio > 1.0f + config_.clip) ||
+              (adv < 0.0f && ratio < 1.0f - config_.clip);
+          if (!clip_active) dl_dlogp = -adv * ratio;
+          dl_dlogp *= inv_count;
+
+          // dlogp_a/dlogit_k = delta_ak - p_k (restricted to the mask support);
+          // entropy term: dH/dlogit_k = -p_k (log p_k + H).
+          const auto& probs = dist.probs();
+          for (std::size_t k = 0; k < num_actions; ++k) {
+            const float p = probs[k];
+            float grad = 0.0f;
+            if (p > 0.0f) {
+              const float delta_ak = (k == tr.action) ? 1.0f : 0.0f;
+              grad += dl_dlogp * (delta_ak - p);
+              const float logp_k = std::log(p);
+              grad += config_.ent_coef * inv_count * p * (logp_k + entropy);
+            }
+            grad_logits.at(b, k) = grad;
+          }
+
+          // Value head: vf_coef * (v - ret)^2, mean over batch.
+          const float v = out.value.at(b, 0);
+          value_loss_sum += static_cast<double>(v - ret) * (v - ret);
+          grad_value.at(b, 0) =
+              config_.vf_coef * 2.0f * (v - ret) * inv_count;
+        }
+
+        net_.zero_grad();
+        net_.backward(grad_logits, grad_value);
+        if (inject_nan) {
+          inject_nan = false;
+          const auto params = net_.parameters();
+          if (!params.empty() && !params.front()->grad.data().empty()) {
+            params.front()->grad.data()[0] =
+                std::numeric_limits<float>::quiet_NaN();
+          }
+        }
+        grad_norm_sum +=
+            nn::clip_grad_norm(net_.parameters(), config_.max_grad_norm);
+        optimizer_.step();
+
+        sample_count += count;
+        ++batch_count;
       }
-
-      net_.zero_grad();
-      net_.backward(grad_logits, grad_value);
-      grad_norm_sum +=
-          nn::clip_grad_norm(net_.parameters(), config_.max_grad_norm);
-      optimizer_.step();
-
-      sample_count += count;
-      ++batch_count;
     }
+  } catch (const std::exception& e) {
+    update_threw = true;
+    RLPLAN_WARN << "PPO update threw mid-minibatch (" << e.what()
+                << "); treating as a numerical fault";
   }
 
   if (sample_count > 0) {
@@ -160,6 +197,38 @@ void PpoCore::update(RolloutBuffer& buffer, TrainStats& stats) {
   }
   if (batch_count > 0) {
     stats.grad_norm = grad_norm_sum / static_cast<double>(batch_count);
+  }
+
+  // NaN guard: a non-finite weight anywhere (or a mid-update throw) means
+  // this update diverged — numerically or via the chaos site. Restore the
+  // last-good snapshot bit-exactly, skip the RND pass, and tag the epoch
+  // instead of training on from a poisoned network. The update RNG keeps the
+  // shuffles it consumed, so the guarded sequence stays deterministic.
+  bool finite = !update_threw;
+  for (const nn::Parameter* p : net_.parameters()) {
+    if (!finite) break;
+    for (const float x : p->value.data()) {
+      if (!std::isfinite(x)) {
+        finite = false;
+        break;
+      }
+    }
+  }
+  if (!finite) {
+    const auto params = net_.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = last_good_params[i];
+    }
+    optimizer_.restore(last_good_opt);
+    ++nan_skips_;
+    stats.update_skipped = true;
+    stats.policy_loss = stats.value_loss = stats.entropy = 0.0;
+    stats.approx_kl = stats.grad_norm = 0.0;
+    RLPLAN_COUNTER_INC("rl.nan_skips");
+    RLPLAN_COUNTER_INC("robust.degraded");
+    RLPLAN_WARN << "PPO update produced non-finite weights; rolled back to "
+                << "the last-good state (skip #" << nan_skips_ << ")";
+    return;
   }
 
   // RND predictor catches up on the freshly visited states, then the bonus
@@ -267,7 +336,8 @@ TrainStats run_ppo_epoch(PpoCore& core,
                          parallel::ParallelRolloutCollector* collector,
                          FloorplanEnv* serial_env, Rng* serial_rng,
                          RolloutBuffer& buffer, long& total_env_steps,
-                         const EpisodeEndFn& on_episode_end) {
+                         const EpisodeEndFn& on_episode_end,
+                         const robust::RunControl& control) {
   TrainStats stats;
   buffer.clear();
 
@@ -284,13 +354,15 @@ TrainStats run_ppo_epoch(PpoCore& core,
   {
     RLPLAN_TRACE_SPAN("rl.collect", static_cast<std::int64_t>(episodes));
     if (collector != nullptr) {
-      cstats = collector->collect(core.net(), episodes, buffer, on_end);
+      cstats = collector->collect(core.net(), episodes, buffer, on_end,
+                                  control);
     } else {
       const parallel::EnvSlot slot{serial_env, serial_rng};
       cstats = parallel::collect_episodes({&slot, 1}, core.net(), episodes,
-                                          buffer, nullptr, on_end);
+                                          buffer, nullptr, on_end, control);
     }
   }
+  stats.stop_reason = cstats.stop_reason;
   RLPLAN_COUNTER_ADD("rl.env_steps", cstats.steps);
   RLPLAN_COUNTER_ADD("rl.episodes", cstats.episodes);
   total_env_steps += static_cast<long>(cstats.steps);
@@ -305,7 +377,10 @@ TrainStats run_ppo_epoch(PpoCore& core,
           : 0.0;
   stats.best_reward = cstats.episodes > 0 ? cstats.reward_best : 0.0;
 
-  if (!buffer.empty()) {
+  // A cancelled epoch skips the update (the caller wants out now, e.g. a
+  // SIGINT on its way to a final checkpoint); a deadline-stopped epoch still
+  // updates on the full episodes it managed to collect (best-so-far).
+  if (!buffer.empty() && stats.stop_reason != robust::StopReason::kCancelled) {
     RLPLAN_TRACE_SPAN("rl.update",
                       static_cast<std::int64_t>(buffer.steps().size()));
     core.update(buffer, stats);

@@ -36,6 +36,7 @@
 #include "rl/policy_net.h"
 #include "rl/rnd.h"
 #include "rl/rollout.h"
+#include "robust/robust.h"
 #include "util/rng.h"
 
 namespace rlplan::parallel {
@@ -90,6 +91,19 @@ struct TrainStats {
   std::size_t steps = 0;
   std::size_t episodes = 0;
   std::size_t dead_ends = 0;
+  /// True when the epoch's network update was rolled back by the NaN guard
+  /// (weights and optimizer state restored to their pre-update values; see
+  /// PpoCore::nan_skips()).
+  bool update_skipped = false;
+  /// kNone for a full epoch; kCancelled/kDeadline when a RunControl stopped
+  /// collection early (the update then runs over the partial buffer only if
+  /// the stop was a deadline with data already collected — see
+  /// run_ppo_epoch).
+  robust::StopReason stop_reason = robust::StopReason::kNone;
+
+  bool degraded() const {
+    return update_skipped || stop_reason != robust::StopReason::kNone;
+  }
 };
 
 /// Pure PPO update core over a fixed network architecture. Contains no
@@ -121,7 +135,37 @@ class PpoCore {
   /// minibatch clipped-surrogate SGD, RND predictor training + intrinsic
   /// annealing) over the collected buffer. Fills the loss/entropy/grad
   /// fields of `stats`.
+  ///
+  /// NaN guard: weights and optimizer state are snapshotted on entry; if any
+  /// parameter is non-finite after the minibatch passes (real numerical
+  /// blow-up or the "ppo_nan" chaos site), or a minibatch throws mid-update
+  /// (NaN logits surface as "no feasible action" from the masked softmax
+  /// before the scan can run), the whole update is rolled back
+  /// bit-exactly, stats.update_skipped is set, and nan_skips() increments.
+  /// The update RNG is NOT rewound — the skipped epoch still consumed its
+  /// shuffles — so the guarded run remains fully deterministic.
   void update(RolloutBuffer& buffer, TrainStats& stats);
+
+  /// Number of updates rolled back by the NaN guard this process (not
+  /// checkpointed; also counted in the "rl.nan_skips" obs metric).
+  long nan_skips() const { return nan_skips_; }
+
+  /// Welford reward-normalizer state, exposed so a cancelled (mid-epoch)
+  /// collection can be rewound: the partial epoch's episode rewards must not
+  /// survive into the checkpoint, or resume-and-replay double-counts them.
+  struct RewardNormState {
+    double mean = 0.0;
+    double m2 = 0.0;
+    long n = 0;
+  };
+  RewardNormState reward_norm_state() const {
+    return {rew_mean_, rew_m2_, rew_n_};
+  }
+  void restore_reward_norm(const RewardNormState& s) {
+    rew_mean_ = s.mean;
+    rew_m2_ = s.m2;
+    rew_n_ = s.n;
+  }
 
   /// Serializes, in order: net weights, then the full update state (update
   /// RNG, Adam moments + step count, reward normalizer, intrinsic scale, RND
@@ -145,6 +189,7 @@ class PpoCore {
   double rew_mean_ = 0.0;
   double rew_m2_ = 0.0;
   long rew_n_ = 0;
+  long nan_skips_ = 0;  ///< updates rolled back by the NaN guard
 };
 
 /// Single-scenario trainer: one env (or one VecEnv collector) + a PpoCore.
@@ -211,10 +256,15 @@ using EpisodeEndFn =
 /// otherwise serially from `serial_env` sampling with `serial_rng`), fills
 /// RND intrinsic bonuses, folds collection statistics, advances
 /// `total_env_steps`, and runs the PPO update over the buffer.
+/// `control` (optional) stops collection at batch granularity; a stopped
+/// epoch tags its stats with the stop reason. A cancelled epoch skips the
+/// update entirely (the caller wants out now); a deadline-stopped epoch still
+/// updates on whatever full episodes were collected (best-so-far semantics).
 TrainStats run_ppo_epoch(PpoCore& core,
                          parallel::ParallelRolloutCollector* collector,
                          FloorplanEnv* serial_env, Rng* serial_rng,
                          RolloutBuffer& buffer, long& total_env_steps,
-                         const EpisodeEndFn& on_episode_end);
+                         const EpisodeEndFn& on_episode_end,
+                         const robust::RunControl& control = {});
 
 }  // namespace rlplan::rl

@@ -1,6 +1,8 @@
 #include "rl/session.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,6 +14,7 @@
 #include "parallel/collector.h"
 #include "parallel/thread_pool.h"
 #include "parallel/vec_env.h"
+#include "robust/fault.h"
 #include "util/log.h"
 
 namespace rlplan::rl {
@@ -138,11 +141,38 @@ void TrainingSession::consider_best(TaskRuntime& rt,
 }
 
 TrainStats TrainingSession::train_epoch() {
+  // Epoch-granularity stop: return before consuming any stream (curriculum
+  // pick included), so a stopped session checkpoints exactly the state of
+  // its last completed epoch.
+  if (config_.control.active() && config_.control.stop_requested()) {
+    TrainStats stats;
+    stats.stop_reason = config_.control.stop_reason();
+    RLPLAN_COUNTER_INC("robust.degraded");
+    return stats;
+  }
   // The span tag is the absolute epoch index so curriculum phases line up
   // in the trace timeline; per-scenario attribution rides on the counter.
   RLPLAN_TRACE_SPAN("rl.epoch", static_cast<std::int64_t>(epochs_completed_));
+  // Snapshot every checkpointed stream this epoch consumes. A cancel lands
+  // mid-collection, and the abandoned partial epoch must not leak into the
+  // checkpoint: rewinding these makes the stopped state identical to the
+  // last completed epoch, so resume replays the interrupted epoch bit-exactly
+  // against an uninterrupted run. (Best-so-far is deliberately NOT rewound —
+  // it is a monotone max over the same replayed episode stream, so keeping
+  // partial-epoch discoveries is both safe and what "best-so-far" means.)
+  const auto curriculum_state = curriculum_rng_.state();
   const std::size_t ti = pick_task();
   TaskRuntime& rt = *runtimes_[ti];
+  const auto action_rng_state = rt.action_rng.state();
+  std::vector<std::array<std::uint64_t, 4>> venv_rng_states;
+  if (rt.venv) {
+    venv_rng_states.reserve(config_.num_envs);
+    for (std::size_t j = 0; j < config_.num_envs; ++j) {
+      venv_rng_states.push_back(rt.venv->rng(j).state());
+    }
+  }
+  const long steps_before = total_env_steps_;
+  const PpoCore::RewardNormState rew_before = core_.reward_norm_state();
 
   // The scoped collector also installs the pool as the nn batch executor, so
   // the PPO minibatch forwards inside run_ppo_epoch fan over the workers
@@ -159,8 +189,22 @@ TrainStats TrainingSession::train_epoch() {
           FloorplanEnv& env = rt.env ? *rt.env : rt.venv->env(env_index);
           consider_best(rt, env.last_metrics(), env.floorplan());
         }
-      });
+      },
+      config_.control);
   stats.scenario = tasks_[ti].name;
+  // A cancelled epoch did no update (run_ppo_epoch skips it) — it is a
+  // partial epoch on the way out, not a completed one. Rewind the streams it
+  // consumed so the checkpoint is the last-completed-epoch state.
+  if (stats.stop_reason == robust::StopReason::kCancelled) {
+    curriculum_rng_.set_state(curriculum_state);
+    rt.action_rng.set_state(action_rng_state);
+    for (std::size_t j = 0; j < venv_rng_states.size(); ++j) {
+      rt.venv->rng(j).set_state(venv_rng_states[j]);
+    }
+    total_env_steps_ = steps_before;
+    core_.restore_reward_norm(rew_before);
+    return stats;
+  }
   if (obs::metrics_enabled()) {
     // Dynamic name => registered through the registry, not the static-cache
     // macro (one mutex-guarded lookup per epoch, far off the hot path).
@@ -211,16 +255,25 @@ EpisodeMetrics TrainingSession::evaluate_floorplan(std::size_t i,
   return primary_env(i).evaluate_floorplan(fp);
 }
 
+void TrainingSession::set_control(const robust::RunControl& control) {
+  config_.control = control;
+}
+
 // --- Checkpointing -----------------------------------------------------------
 
 void TrainingSession::save_checkpoint(const std::string& path) const {
   // Write-then-rename: a crash mid-save must never destroy the previous
   // checkpoint (rename over the target is atomic on POSIX), especially when
   // the target is the very file this session resumed from.
+  // Failures throw robust::TransientIoError (callers may retry; the "ckpt_write"
+  // chaos site injects exactly that class before any byte is written).
+  if (robust::fault_point("ckpt_write")) {
+    throw robust::TransientIoError(path + ": injected ckpt_write fault");
+  }
   const std::string tmp_path = path + ".tmp";
   std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
   if (!os) {
-    throw std::runtime_error("TrainingSession: cannot open " + tmp_path);
+    throw robust::TransientIoError("TrainingSession: cannot open " + tmp_path);
   }
   nn::StateWriter w(os);
 
@@ -306,11 +359,14 @@ void TrainingSession::save_checkpoint(const std::string& path) const {
   w.finish();
   os.close();
   if (!os) {
-    throw std::runtime_error("TrainingSession: write failed: " + tmp_path);
+    std::remove(tmp_path.c_str());
+    throw robust::TransientIoError("TrainingSession: write failed: " +
+                                   tmp_path);
   }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("TrainingSession: cannot rename " + tmp_path +
-                             " to " + path);
+    std::remove(tmp_path.c_str());
+    throw robust::TransientIoError("TrainingSession: cannot rename " +
+                                   tmp_path + " to " + path);
   }
 }
 
@@ -492,6 +548,42 @@ void TrainingSession::load_checkpoint(const std::string& path,
     }
   }
   r.finish();
+}
+
+std::string load_newest_valid_checkpoint(
+    TrainingSession& session, const std::vector<std::string>& candidates,
+    bool warm_start, bool quarantine) {
+  std::vector<std::string> quarantined;
+  for (const std::string& path : candidates) {
+    {
+      // Missing candidates are normal (rotation histories have gaps);
+      // only files that exist but fail to load count as corruption.
+      std::ifstream probe(path, std::ios::binary);
+      if (!probe) continue;
+    }
+    try {
+      session.load_checkpoint(path, warm_start);
+      return path;
+    } catch (const std::exception& e) {
+      RLPLAN_COUNTER_INC("robust.ckpt_quarantined");
+      RLPLAN_WARN << "checkpoint " << path
+                  << " failed to load, trying next candidate: " << e.what();
+      quarantined.push_back(path);
+      if (quarantine) {
+        const std::string bad = path + ".corrupt";
+        if (std::rename(path.c_str(), bad.c_str()) != 0) {
+          RLPLAN_WARN << "could not quarantine " << path << " to " << bad;
+        }
+      }
+    }
+  }
+  std::string msg = "no valid checkpoint among " +
+                    std::to_string(candidates.size()) + " candidate(s)";
+  if (!quarantined.empty()) {
+    msg += "; failed:";
+    for (const std::string& q : quarantined) msg += " " + q;
+  }
+  throw robust::CorruptArtifactError(msg);
 }
 
 }  // namespace rlplan::rl

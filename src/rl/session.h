@@ -116,6 +116,12 @@ struct TrainingSessionConfig {
   /// Overrides ppo.seed.
   std::uint64_t seed = 1;
   bool verbose = false;
+  /// Cooperative deadline/cancellation, polled at epoch and collection-batch
+  /// granularity. A stopped train_epoch() returns immediately with its stats
+  /// tagged (stop_reason != kNone); completed state — weights, counters,
+  /// bests — is whatever the finished epochs produced, and a checkpoint
+  /// saved then resumes bit-exactly. Inert by default.
+  robust::RunControl control{};
 };
 
 class TrainingSession {
@@ -170,6 +176,10 @@ class TrainingSession {
   /// or corruption.
   void load_checkpoint(const std::string& path, bool warm_start = false);
 
+  /// Updates config().control for an already-built session (deadline/cancel
+  /// wiring from tools that construct the session before parsing budgets).
+  void set_control(const robust::RunControl& control);
+
  private:
   struct TaskRuntime;
 
@@ -188,5 +198,16 @@ class TrainingSession {
   int epochs_completed_ = 0;
   long total_env_steps_ = 0;
 };
+
+/// Corrupt-checkpoint auto-resume: tries each candidate in order (callers
+/// list newest first) until one passes full validation and loads, and
+/// returns that path. Candidates that fail to load are counted
+/// ("robust.ckpt_quarantined") and — when `quarantine` is set — renamed to
+/// "<path>.corrupt" so later scans skip them. Missing files are skipped
+/// silently (rotation histories have gaps). Throws
+/// robust::CorruptArtifactError when no candidate loads.
+std::string load_newest_valid_checkpoint(
+    TrainingSession& session, const std::vector<std::string>& candidates,
+    bool warm_start = false, bool quarantine = true);
 
 }  // namespace rlplan::rl

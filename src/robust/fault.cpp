@@ -1,0 +1,153 @@
+#include "robust/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace rlplan::robust {
+
+namespace {
+
+// FNV-1a folds the site name into the decision hash so distinct sites with
+// the same hit index draw independent streams.
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Pure decision function: does the `hit`-th arrival at `site` inject?
+bool decide(std::uint64_t seed, std::string_view site, std::uint64_t hit,
+            double probability) {
+  SplitMix64 sm(seed ^ hash_site(site) ^ (hit * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct Site {
+    double probability = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t injected = 0;
+  };
+  mutable std::mutex mutex;
+  std::map<std::string, Site, std::less<>> sites;
+  std::uint64_t seed = 0;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  const char* spec = std::getenv("RLPLANNER_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::uint64_t seed = 0;
+  if (const char* s = std::getenv("RLPLANNER_FAULT_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  configure(spec, seed);
+}
+
+FaultInjector& FaultInjector::instance() {
+  // Leaked: fault points may be hit during static teardown (atexit exports).
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  std::map<std::string, Impl::Site, std::less<>> sites;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("fault spec entry \"" + entry +
+                                  "\" is not site:probability");
+    }
+    const std::string site = entry.substr(0, colon);
+    double p = 0.0;
+    try {
+      std::size_t parsed = 0;
+      p = std::stod(entry.substr(colon + 1), &parsed);
+      if (parsed != entry.size() - colon - 1) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec entry \"" + entry +
+                                  "\" has a malformed probability");
+    }
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("fault probability for \"" + site +
+                                  "\" must be in [0, 1]");
+    }
+    if (p > 0.0) sites[site].probability = p;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sites = std::move(sites);
+  impl_->seed = seed;
+  enabled_.store(!impl_->sites.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sites.clear();
+  impl_->seed = 0;
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_inject(std::string_view site) {
+  std::uint64_t hit = 0;
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->sites.find(site);
+    if (it == impl_->sites.end()) return false;
+    hit = it->second.hits++;
+    probability = it->second.probability;
+    seed = impl_->seed;
+    if (!decide(seed, site, hit, probability)) return false;
+    ++it->second.injected;
+  }
+  if (site == "ckpt_write") {
+    RLPLAN_COUNTER_INC("robust.fault.ckpt_write");
+  } else if (site == "artifact_write") {
+    RLPLAN_COUNTER_INC("robust.fault.artifact_write");
+  } else if (site == "pool_dispatch") {
+    RLPLAN_COUNTER_INC("robust.fault.pool_dispatch");
+  } else if (site == "solver_diverge") {
+    RLPLAN_COUNTER_INC("robust.fault.solver_diverge");
+  } else if (site == "ppo_nan") {
+    RLPLAN_COUNTER_INC("robust.fault.ppo_nan");
+  } else {
+    RLPLAN_COUNTER_INC("robust.fault.other");
+  }
+  return true;
+}
+
+std::uint64_t FaultInjector::hit_count(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::injected_count(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.injected;
+}
+
+std::uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->seed;
+}
+
+}  // namespace rlplan::robust

@@ -1,0 +1,227 @@
+// Fault-tolerant execution primitives shared by every long-running pipeline.
+//
+// Three orthogonal pieces:
+//
+//  * A typed error taxonomy (RobustError + ErrorClass) so callers can react
+//    by class — transient IO gets retried, corrupt artifacts get quarantined,
+//    solver/numerical faults trigger a degradation path — instead of string-
+//    matching `what()`.
+//
+//  * Cooperative stop signals: `Deadline` (wall-clock budget) and
+//    `CancelToken` (shared flag, settable from another thread or a signal
+//    handler), bundled as a cheap-to-copy `RunControl`. Pipelines poll
+//    `stop_requested()` at coarse boundaries — SA round, RL epoch, collection
+//    batch, characterization probe — and return their best-so-far result
+//    tagged with a StopReason rather than running away or throwing mid-work.
+//    A default-constructed RunControl is inert and costs one branch per poll,
+//    so the layer is invisible when no budget is set.
+//
+//  * `retry_with_backoff`: bounded exponential-backoff retry for the
+//    transient-IO error class (checkpoint/artifact writes).
+//
+// Determinism contract: stopping is only ever *earlier* termination of the
+// same deterministic sequence — a cancelled run's partial result equals the
+// prefix of the uncancelled run (tests/robust_test.cpp enforces this for SA).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace rlplan::robust {
+
+// ------------------------------------------------------------- error taxonomy
+
+enum class ErrorClass {
+  kTransientIo,      ///< retryable: interrupted/failed write, busy file
+  kCorruptArtifact,  ///< permanent: checkpoint/JSON failed validation
+  kSolverDivergence, ///< numerical: CG failed to converge within budget
+  kNumericalFault,   ///< numerical: NaN/Inf surfaced in an update
+  kCancelled,        ///< cooperative stop honoured where best-so-far is
+                     ///< impossible (e.g. mid-characterization)
+};
+
+const char* to_string(ErrorClass cls);
+
+class RobustError : public std::runtime_error {
+ public:
+  RobustError(ErrorClass cls, const std::string& what)
+      : std::runtime_error(what), cls_(cls) {}
+
+  ErrorClass error_class() const { return cls_; }
+  /// True for the error class retry_with_backoff() is allowed to retry.
+  bool transient() const { return cls_ == ErrorClass::kTransientIo; }
+
+ private:
+  ErrorClass cls_;
+};
+
+class TransientIoError : public RobustError {
+ public:
+  explicit TransientIoError(const std::string& what)
+      : RobustError(ErrorClass::kTransientIo, what) {}
+};
+
+class CorruptArtifactError : public RobustError {
+ public:
+  explicit CorruptArtifactError(const std::string& what)
+      : RobustError(ErrorClass::kCorruptArtifact, what) {}
+};
+
+class SolverDivergenceError : public RobustError {
+ public:
+  explicit SolverDivergenceError(const std::string& what)
+      : RobustError(ErrorClass::kSolverDivergence, what) {}
+};
+
+class NumericalFaultError : public RobustError {
+ public:
+  explicit NumericalFaultError(const std::string& what)
+      : RobustError(ErrorClass::kNumericalFault, what) {}
+};
+
+class CancelledError : public RobustError {
+ public:
+  explicit CancelledError(const std::string& what)
+      : RobustError(ErrorClass::kCancelled, what) {}
+};
+
+// -------------------------------------------------------- cooperative stopping
+
+/// Why a pipeline stopped early. kNone == ran to natural completion; anything
+/// else means the result is best-so-far and should carry a "degraded" tag.
+enum class StopReason { kNone, kCancelled, kDeadline };
+
+const char* to_string(StopReason reason);
+
+/// Wall-clock budget. Default-constructed == unlimited (never expires).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Budget of `seconds` starting now. seconds <= 0 is already expired.
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.set_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool unlimited() const { return !set_; }
+  bool expired() const {
+    return set_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Seconds left; +inf when unlimited, 0 when expired.
+  double remaining_seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool set_ = false;
+};
+
+/// Shared cooperative-cancellation flag. Value semantics: copies observe (and
+/// set) the same flag. Default-constructed tokens are inert — never cancelled,
+/// cancel() is a no-op — so APIs can take a CancelToken by value at zero cost.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A fresh, live token (uncancelled, shared by all copies).
+  static CancelToken create() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  bool active() const { return flag_ != nullptr; }
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+  /// Safe from any thread. (The underlying store is async-signal-safe, but
+  /// signal handlers should go through install_signal_cancel() below, which
+  /// uses a pre-registered raw atomic.)
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  /// Raw flag pointer for async-signal contexts (install_signal_cancel keeps
+  /// a token copy alive so the pointee never dies); nullptr when inert.
+  std::atomic<bool>* raw_flag() const { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Bundle of stop signals threaded through pipeline entry points. Cheap to
+/// copy; the default instance is inert (active() == false) and pipelines
+/// short-circuit their polls on that, so an unset control costs one branch.
+struct RunControl {
+  Deadline deadline{};
+  CancelToken cancel{};
+
+  bool active() const { return !deadline.unlimited() || cancel.active(); }
+  /// Cancellation wins over deadline when both fire (it is the explicit ask).
+  StopReason stop_reason() const {
+    if (cancel.cancelled()) return StopReason::kCancelled;
+    if (deadline.expired()) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+  bool stop_requested() const {
+    return active() && stop_reason() != StopReason::kNone;
+  }
+};
+
+/// Routes SIGINT/SIGTERM to `token` (async-signal-safely: the handler writes
+/// one pre-registered atomic). Returns false if the token is inert. A second
+/// signal after cancellation restores default disposition, so a stuck process
+/// can still be killed with a repeated Ctrl-C.
+bool install_signal_cancel(const CancelToken& token);
+
+/// Signal number that triggered cancellation via install_signal_cancel()
+/// (0 if none yet).
+int last_cancel_signal();
+
+// ----------------------------------------------------------------------- retry
+
+struct RetryOptions {
+  int max_attempts = 3;              ///< total attempts, including the first
+  double initial_backoff_s = 0.05;   ///< sleep before attempt 2
+  double backoff_multiplier = 2.0;   ///< geometric growth per further attempt
+  double max_backoff_s = 1.0;
+};
+
+namespace detail {
+/// Sleep hook behind retry_with_backoff (no-op for non-positive durations).
+void backoff_sleep(double seconds);
+/// Obs accounting: one retry attempt consumed after an error named `what`.
+void count_retry(const char* what);
+}  // namespace detail
+
+/// Runs `fn`, retrying on TransientIoError (only — every other exception
+/// propagates immediately) with exponential backoff. Rethrows the last
+/// transient error once attempts are exhausted. `what` labels obs counters
+/// and is not interpreted.
+template <typename Fn>
+auto retry_with_backoff(Fn&& fn, const RetryOptions& options = {},
+                        const char* what = "io") -> decltype(fn()) {
+  double backoff = options.initial_backoff_s;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const RobustError& e) {
+      if (!e.transient() || attempt >= options.max_attempts) throw;
+      detail::count_retry(what);
+      detail::backoff_sleep(backoff);
+      backoff = std::min(backoff * options.backoff_multiplier,
+                         options.max_backoff_s);
+    }
+  }
+}
+
+}  // namespace rlplan::robust

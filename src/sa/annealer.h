@@ -14,7 +14,9 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/robust.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -30,6 +32,10 @@ struct AnnealOptions {
   int moves_per_temperature = 40;
   long max_evaluations = 100000;  ///< hard cap on cost-function calls
   double time_budget_s = 0.0;     ///< 0 = unlimited
+  /// Cooperative deadline/cancellation, polled once per move alongside the
+  /// budget checks (inert by default: one branch per poll). Stopping returns
+  /// the best state found so far and records the reason in AnnealStats.
+  robust::RunControl control{};
 };
 
 struct AnnealStats {
@@ -39,6 +45,11 @@ struct AnnealStats {
   double seconds = 0.0;
   double final_temperature = 0.0;
   std::vector<double> best_cost_history;  ///< best-so-far after each level
+  /// kNone when the run finished within its own budgets; kCancelled/kDeadline
+  /// when AnnealOptions::control stopped it early (result is best-so-far).
+  robust::StopReason stop_reason = robust::StopReason::kNone;
+
+  bool degraded() const { return stop_reason != robust::StopReason::kNone; }
 };
 
 /// Transaction callbacks around each evaluated proposal, so a cost function
@@ -63,6 +74,7 @@ State anneal(State initial,
              const AnnealOptions& options, Rng& rng, AnnealStats& stats,
              const AnnealHooks& hooks = {}) {
   const Timer timer;
+  const bool controlled = options.control.active();
   State current = initial;
   double current_cost = cost(current);
   ++stats.evaluations;
@@ -78,6 +90,7 @@ State anneal(State initial,
     for (int i = 0; i < options.calibration_samples * 4 &&
                     samples < options.calibration_samples;
          ++i) {
+      if (controlled && options.control.stop_requested()) break;
       auto cand = propose(current, rng);
       if (!cand) continue;
       const double c = cost(*cand);
@@ -104,6 +117,7 @@ State anneal(State initial,
           timer.seconds() >= options.time_budget_s) {
         break;
       }
+      if (controlled && options.control.stop_requested()) break;
       ++stats.proposals;
       auto cand = propose(current, rng);
       if (!cand) continue;
@@ -129,9 +143,14 @@ State anneal(State initial,
         timer.seconds() >= options.time_budget_s) {
       break;
     }
+    if (controlled && options.control.stop_requested()) break;
     t *= options.cooling;
   }
 
+  if (controlled) {
+    stats.stop_reason = options.control.stop_reason();
+    if (stats.degraded()) RLPLAN_COUNTER_INC("robust.degraded");
+  }
   stats.final_temperature = t;
   stats.seconds = timer.seconds();
   return best;

@@ -202,6 +202,7 @@ Floorplan Tap25dPlanner::anneal_population(
     Rng& rng, AnnealStats& stats) const {
   const Timer timer;
   const AnnealOptions& options = config_.anneal;
+  const bool controlled = options.control.active();
   const std::size_t k = config_.population;
   parallel::ThreadPool pool(config_.batch_threads);
 
@@ -273,6 +274,7 @@ Floorplan Tap25dPlanner::anneal_population(
           timer.seconds() >= options.time_budget_s) {
         break;
       }
+      if (controlled && options.control.stop_requested()) break;
       // One round = K proposals scored in a single batched thermal call; the
       // span covers proposal generation + scoring + the Metropolis step.
       RLPLAN_TRACE_SPAN("sa.round", static_cast<std::int64_t>(k));
@@ -311,9 +313,14 @@ Floorplan Tap25dPlanner::anneal_population(
         timer.seconds() >= options.time_budget_s) {
       break;
     }
+    if (controlled && options.control.stop_requested()) break;
     t *= options.cooling;
   }
 
+  if (controlled) {
+    stats.stop_reason = options.control.stop_reason();
+    if (stats.degraded()) RLPLAN_COUNTER_INC("robust.degraded");
+  }
   stats.final_temperature = t;
   stats.seconds = timer.seconds();
   return best;

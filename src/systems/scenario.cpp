@@ -143,6 +143,23 @@ ChipletSystem inline_system_from_json(const util::JsonValue& sys,
   }
   const auto [iw, ih] = parse_pair(sys, "interposer_mm", "system");
 
+  // Size caps before any per-entry work: a corrupt or hostile scenario file
+  // must fail with a clear message, not an OOM or a multi-hour build. Both
+  // limits sit far above anything the paper's benchmarks (or the synthetic
+  // families) produce.
+  constexpr std::size_t kMaxDies = 4096;
+  constexpr std::size_t kMaxNets = 65536;
+  if (sys.at("dies").as_array().size() > kMaxDies) {
+    fail("system.dies: " + std::to_string(sys.at("dies").as_array().size()) +
+         " entries exceeds the cap of " + std::to_string(kMaxDies));
+  }
+  if (const util::JsonValue* jn = sys.find("nets")) {
+    if (jn->as_array().size() > kMaxNets) {
+      fail("system.nets: " + std::to_string(jn->as_array().size()) +
+           " entries exceeds the cap of " + std::to_string(kMaxNets));
+    }
+  }
+
   std::vector<Chiplet> dies;
   std::unordered_map<std::string, std::size_t> index_of;
   for (const util::JsonValue& d : sys.at("dies").as_array()) {

@@ -10,6 +10,20 @@
 
 namespace rlplan::thermal {
 
+namespace {
+// Characterization has no usable best-so-far (a half-built table set cannot
+// feed a FastThermalModel), so cooperative stops surface as CancelledError.
+// Polled before every probe solve — the unit of work the ISSUE's
+// "characterization granularity" refers to.
+void check_control(const robust::RunControl& control) {
+  if (control.active() && control.stop_requested()) {
+    throw robust::CancelledError(
+        std::string("thermal characterization stopped (") +
+        robust::to_string(control.stop_reason()) + ")");
+  }
+}
+}  // namespace
+
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
   if (n < 2 || hi <= lo) {
     throw std::invalid_argument("linspace: need n >= 2 and hi > lo");
@@ -114,6 +128,7 @@ BilinearTable2D ThermalCharacterizer::build_position_correction(
 
   // Centered reference rise (the table's denominator).
   const auto solve_at = [&](double cx, double cy) {
+    check_control(config_.control);
     const ChipletSystem probe(
         "position-probe", iw, ih,
         {Chiplet{"ref", s, s, config_.reference_power_w}}, {});
@@ -153,6 +168,7 @@ SelfResistanceTable ThermalCharacterizer::build_self_table(
   std::size_t done = probes_done;
   for (std::size_t i = 0; i < widths.size(); ++i) {
     for (std::size_t j = 0; j < heights.size(); ++j) {
+      check_control(config_.control);
       const double w = widths[i];
       const double h = heights[j];
       const ChipletSystem probe(
@@ -225,6 +241,7 @@ MutualResistanceTable ThermalCharacterizer::build_mutual_table(double iw,
   const std::size_t layer = stack_->chiplet_layer_index();
 
   for (const Point& src : sources) {
+    check_control(config_.control);
     const ChipletSystem probe(
         "mutual-probe", iw, ih,
         {Chiplet{"source", s, s, config_.reference_power_w}}, {});

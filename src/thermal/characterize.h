@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "robust/robust.h"
 #include "thermal/fast_model.h"
 #include "thermal/grid_solver.h"
 #include "thermal/layer_stack.h"
@@ -65,6 +66,10 @@ struct CharacterizationConfig {
   std::size_t position_points = 7;
   double position_ref_die_mm = 8.0;
   FastModelConfig model_config{};
+  /// Cooperative stop, polled before every probe solve. A half-built table
+  /// set is useless, so characterization has no best-so-far: stopping throws
+  /// robust::CancelledError instead.
+  robust::RunControl control{};
 };
 
 struct CharacterizationReport {

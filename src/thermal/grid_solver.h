@@ -44,8 +44,16 @@ class ThermalField {
 struct ThermalResult {
   double max_temp_c = 0.0;  ///< peak chiplet temperature (the paper's T)
   std::vector<double> chiplet_temp_c;  ///< per-chiplet peak temperature
-  CgResult cg;
+  CgResult cg;  ///< final solve (the fallback's, when one ran)
   double solve_seconds = 0.0;
+  /// Count of fallback re-solves taken because the primary CG solve did not
+  /// converge (real divergence or the "solver_diverge" chaos site): the
+  /// solver retries once from a cold start with a 4x iteration budget.
+  std::size_t fallback_resolves = 0;
+  /// True only when the fallback *also* failed to converge — temperatures
+  /// come from the lowest-residual iterate and result.cg.relative_residual
+  /// reports how far off it is.
+  bool degraded = false;
 };
 
 struct GridSolverConfig {

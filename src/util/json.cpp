@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fs.h"
+
 namespace rlplan::util {
 
 namespace {
@@ -487,10 +489,9 @@ JsonValue parse_json_file(const std::string& path) {
 
 void write_json_file(const std::string& path, const JsonValue& value,
                      int indent) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw JsonError(path + ": cannot open file for writing");
-  os << value.dump(indent) << '\n';
-  if (!os) throw JsonError(path + ": write failed");
+  // Atomic write-then-rename: a crash (or injected fault) mid-write can
+  // never leave a truncated JSON artifact behind.
+  atomic_write_file(path, value.dump(indent) + '\n');
 }
 
 }  // namespace rlplan::util

@@ -40,6 +40,23 @@ TEST(Json, StringEscapes) {
             "\xf0\x9f\x98\x80");
 }
 
+TEST(Json, RecursionDepthIsCapped) {
+  // The parser caps nesting at 256 levels so adversarial input exhausts the
+  // budget with a clear JsonError instead of the native stack.
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_NO_THROW(parse_json(nested(200)));
+  EXPECT_THROW(parse_json(nested(300)), JsonError);
+  // Same guard on object nesting.
+  std::string deep_obj;
+  for (int i = 0; i < 300; ++i) deep_obj += "{\"k\":";
+  deep_obj += "1";
+  for (int i = 0; i < 300; ++i) deep_obj += "}";
+  EXPECT_THROW(parse_json(deep_obj), JsonError);
+}
+
 TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(parse_json(""), JsonError);
   EXPECT_THROW(parse_json("{"), JsonError);

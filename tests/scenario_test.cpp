@@ -141,6 +141,30 @@ TEST(Scenario, MissingFieldsRejected) {
                ScenarioError);
 }
 
+TEST(Scenario, InlineSystemSizeCapsRejected) {
+  // A corrupt (or hostile) scenario with an absurd die/net count must fail
+  // with a named cap, before any per-entry validation work.
+  const auto build = [](std::size_t num_dies, std::size_t num_nets) {
+    std::string dies;
+    for (std::size_t i = 0; i < num_dies; ++i) {
+      if (i > 0) dies += ",";
+      dies += "{\"name\": \"d" + std::to_string(i) +
+              "\", \"mm\": [1, 1], \"power_w\": 1}";
+    }
+    std::string nets;
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      if (i > 0) nets += ",";
+      nets += "[\"d0\", \"d1\", 1]";
+    }
+    return std::string(R"({"name": "big", "system": {"interposer_mm":
+        [2000, 2000], "dies": [)") + dies + R"(], "nets": [)" + nets + R"(]},
+        "envelope": {"max_temp_c": 100, "max_wirelength_mm": 100}})";
+  };
+  EXPECT_THROW(parse_scenario(build(4097, 0)), ScenarioError);
+  EXPECT_THROW(parse_scenario(build(2, 65537)), ScenarioError);
+  EXPECT_NO_THROW(parse_scenario(build(2, 3)));
+}
+
 TEST(Scenario, OutOfRangeInlineSystemRejected) {
   const auto scen = [](const std::string& dies, const std::string& nets) {
     return std::string(R"({"name": "x", "system": {"interposer_mm": [20, 20],

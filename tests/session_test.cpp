@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -45,6 +46,33 @@ class ProxyEvaluator final : public thermal::ThermalEvaluator {
 
  private:
   long count_ = 0;
+};
+
+// ProxyEvaluator that fires a cancel token after an armed number of further
+// evaluations — lands a cooperative cancel deterministically mid-collection.
+class CancellingEvaluator final : public thermal::ThermalEvaluator {
+ public:
+  CancellingEvaluator(robust::CancelToken token,
+                      std::shared_ptr<std::atomic<long>> remaining)
+      : token_(std::move(token)), remaining_(std::move(remaining)) {}
+  double max_temperature(const ChipletSystem& system,
+                         const Floorplan& floorplan) override {
+    const double t = inner_.max_temperature(system, floorplan);
+    if (remaining_->load() >= 0 && remaining_->fetch_sub(1) == 0) {
+      token_.cancel();
+    }
+    return t;
+  }
+  long num_evaluations() const override { return inner_.num_evaluations(); }
+  std::string name() const override { return "cancelling-proxy"; }
+  std::unique_ptr<thermal::ThermalEvaluator> clone() const override {
+    return std::make_unique<CancellingEvaluator>(token_, remaining_);
+  }
+
+ private:
+  ProxyEvaluator inner_;
+  robust::CancelToken token_;
+  std::shared_ptr<std::atomic<long>> remaining_;  // -1 = disarmed
 };
 
 ChipletSystem tiny_system_a() {
@@ -390,6 +418,137 @@ TEST(TrainingSession, RejectsTruncatedAndCorruptCheckpoints) {
   TrainingSession ok(small_config(7), make_tasks({&sa}, {"a"}));
   EXPECT_NO_THROW(ok.load_checkpoint(path));
   std::remove(path.c_str());
+}
+
+TEST(TrainingSession, AutoResumeScansPastCorruptNewestCheckpoint) {
+  const ChipletSystem sa = tiny_system_a();
+  const std::string older = temp_path("rotate_older.ckpt");
+  const std::string newest = temp_path("rotate_newest.ckpt");
+  const std::string missing = temp_path("rotate_missing.ckpt");
+  std::remove(missing.c_str());
+  std::remove((newest + ".corrupt").c_str());
+
+  TrainingSession donor(small_config(31), make_tasks({&sa}, {"a"}));
+  donor.train_epoch();
+  donor.train_epoch();
+  donor.save_checkpoint(older);  // valid state at epoch 2
+  const TrainStats ref = donor.train_epoch();  // what resuming must replay
+  donor.save_checkpoint(newest);
+
+  // Truncate the newest checkpoint mid-stream.
+  {
+    std::string blob;
+    std::ifstream is(newest, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+    std::ofstream os(newest, std::ios::binary | std::ios::trunc);
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
+  }
+
+  // Newest-first scan: the corrupt file is quarantined, the missing file is
+  // skipped silently, and the older valid checkpoint wins.
+  TrainingSession resumed(small_config(31), make_tasks({&sa}, {"a"}));
+  const std::string used =
+      load_newest_valid_checkpoint(resumed, {newest, missing, older});
+  EXPECT_EQ(used, older);
+  EXPECT_EQ(resumed.epochs_completed(), 2);
+  EXPECT_FALSE(std::ifstream(newest).good());
+  EXPECT_TRUE(std::ifstream(newest + ".corrupt").good());
+
+  // The recovered state is the real epoch-2 state: the next epoch replays
+  // the donor's third epoch bit-exactly.
+  expect_same_stats(ref, resumed.train_epoch());
+
+  // Nothing valid left -> typed corruption error.
+  TrainingSession empty(small_config(31), make_tasks({&sa}, {"a"}));
+  EXPECT_THROW(load_newest_valid_checkpoint(empty, {newest, missing}),
+               robust::CorruptArtifactError);
+
+  std::remove(older.c_str());
+  std::remove((newest + ".corrupt").c_str());
+}
+
+TEST(TrainingSession, StoppedEpochLeavesStateExactForResume) {
+  const ChipletSystem sa = tiny_system_a();
+  TrainingSession plain(small_config(33), make_tasks({&sa}, {"a"}));
+  plain.train_epoch();
+  plain.train_epoch();
+  const TrainStats ref = plain.train_epoch();  // epoch 2, uninterrupted
+
+  TrainingSession stopped(small_config(33), make_tasks({&sa}, {"a"}));
+  stopped.train_epoch();
+  stopped.train_epoch();
+  robust::RunControl control;
+  control.deadline = robust::Deadline::after_seconds(0.0);  // expired
+  stopped.set_control(control);
+  const TrainStats s = stopped.train_epoch();
+  EXPECT_EQ(s.stop_reason, robust::StopReason::kDeadline);
+  EXPECT_TRUE(s.degraded());
+  EXPECT_EQ(s.steps, 0u);  // stopped before consuming any stream
+  EXPECT_EQ(stopped.epochs_completed(), 2);
+
+  // A cancel token reports its own reason (and wins over the deadline).
+  control.cancel = robust::CancelToken::create();
+  control.cancel.cancel();
+  stopped.set_control(control);
+  EXPECT_EQ(stopped.train_epoch().stop_reason,
+            robust::StopReason::kCancelled);
+
+  // The stopped session's checkpoint is the untouched epoch-2 state:
+  // resuming from it replays the uninterrupted third epoch bit-exactly.
+  const std::string path = temp_path("stop_resume.ckpt");
+  stopped.save_checkpoint(path);
+  TrainingSession resumed(small_config(33), make_tasks({&sa}, {"a"}));
+  resumed.load_checkpoint(path);
+  expect_same_stats(ref, resumed.train_epoch());
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSession, CancelledMidCollectionRewindsToLastCompletedEpoch) {
+  const ChipletSystem sa = tiny_system_a();
+  TrainingSession donor(small_config(41), make_tasks({&sa}, {"a"}));
+  donor.train_epoch();
+  donor.train_epoch();
+  const TrainStats ref = donor.train_epoch();  // uninterrupted third epoch
+
+  // Same run, but a cancel fires mid-collection of the third epoch.
+  robust::CancelToken token = robust::CancelToken::create();
+  auto remaining = std::make_shared<std::atomic<long>>(-1);
+  std::vector<SessionTask> tasks;
+  tasks.push_back(
+      {"a", &sa, std::make_unique<CancellingEvaluator>(token, remaining)});
+  TrainingSession session(small_config(41), std::move(tasks));
+  robust::RunControl control;
+  control.cancel = token;
+  session.set_control(control);
+  session.train_epoch();
+  session.train_epoch();
+  const std::string before = temp_path("midcancel_before.ckpt");
+  session.save_checkpoint(before);
+
+  remaining->store(3);  // arm: cancel 3 evaluations into the next epoch
+  const TrainStats s = session.train_epoch();
+  EXPECT_EQ(s.stop_reason, robust::StopReason::kCancelled);
+  EXPECT_GT(s.steps, 0u);  // the cancel really landed mid-collection
+  EXPECT_EQ(session.epochs_completed(), 2);
+
+  // The partial epoch's stream consumption was rewound: the stopped state
+  // checkpoints byte-identically to the last completed epoch...
+  const std::string after = temp_path("midcancel_after.ckpt");
+  session.save_checkpoint(after);
+  const auto slurp = [](const std::string& p) {
+    std::ifstream is(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>{});
+  };
+  EXPECT_EQ(slurp(before), slurp(after));
+
+  // ...so resuming replays the interrupted third epoch bit-exactly.
+  TrainingSession resumed(small_config(41), make_tasks({&sa}, {"a"}));
+  resumed.load_checkpoint(after);
+  expect_same_stats(ref, resumed.train_epoch());
+  std::remove(before.c_str());
+  std::remove(after.c_str());
 }
 
 TEST(TrainingSession, CheckpointFilesAreByteDeterministic) {

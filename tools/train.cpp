@@ -31,7 +31,16 @@
 //
 // JSONL records deliberately carry no wall-clock fields, so metrics streams
 // from identical training histories are byte-identical and diffable; timing
-// lands on stderr and in the bench JSON instead.
+// lands on stderr and in the bench JSON instead. Degraded epochs (deadline /
+// SIGINT / NaN-guard rollback) gain extra "degraded"/"stop_reason" fields —
+// fault-free runs stay byte-identical to older builds.
+//
+// Robustness: train/resume install a SIGINT/SIGTERM handler that requests a
+// cooperative stop; the session finishes (or abandons, on cancel) the current
+// epoch, writes a final full-state checkpoint, and exits 0. --deadline-s=S
+// imposes the same stop on a wall-clock budget. `resume --from=` accepts a
+// newest-first comma-separated candidate list: corrupt files are quarantined
+// (renamed *.corrupt) and the newest valid checkpoint wins.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,6 +55,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rl/session.h"
+#include "robust/robust.h"
 #include "systems/scenario.h"
 #include "systems/synthetic.h"
 #include "thermal/characterize.h"
@@ -168,7 +178,20 @@ util::JsonValue stats_to_json(int epoch, const rl::TrainStats& stats,
   j.set("episodes", stats.episodes);
   j.set("dead_ends", stats.dead_ends);
   j.set("total_env_steps", total_env_steps);
+  // Degraded-only fields: fault-free metrics streams stay byte-identical
+  // across builds (the CI resume-determinism gate diffs them).
+  if (stats.degraded()) {
+    j.set("degraded", true);
+    j.set("stop_reason", std::string(robust::to_string(stats.stop_reason)));
+    j.set("update_skipped", stats.update_skipped);
+  }
   return j;
+}
+
+void save_checkpoint_with_retry(rl::TrainingSession& session,
+                                const std::string& path) {
+  robust::retry_with_backoff([&] { session.save_checkpoint(path); }, {},
+                             "ckpt_write");
 }
 
 /// Shared train/resume driver: run `epochs` more epochs, stream JSONL,
@@ -187,21 +210,33 @@ int run_training(rl::TrainingSession& session, int epochs,
   }
 
   const long steps_before = session.total_env_steps();  // nonzero on resume
+  robust::StopReason stop = robust::StopReason::kNone;
   const Timer timer;
   for (int i = 0; i < epochs; ++i) {
     const int epoch = session.epochs_completed();  // absolute epoch index
     const rl::TrainStats stats = session.train_epoch();
-    const std::string line =
-        stats_to_json(epoch, stats, session.total_env_steps()).dump(0);
-    if (to_stdout) {
-      std::printf("%s\n", line.c_str());
-    } else if (metrics_file.is_open()) {
-      metrics_file << line << "\n";
-      metrics_file.flush();
+    stop = stats.stop_reason;
+    // A stop with zero steps collected nothing — no epoch to record.
+    if (stop == robust::StopReason::kNone || stats.steps > 0) {
+      const std::string line =
+          stats_to_json(epoch, stats, session.total_env_steps()).dump(0);
+      if (to_stdout) {
+        std::printf("%s\n", line.c_str());
+      } else if (metrics_file.is_open()) {
+        metrics_file << line << "\n";
+        metrics_file.flush();
+      }
+    }
+    if (stop != robust::StopReason::kNone) {
+      std::fprintf(stderr,
+                   "[train] stop requested (%s) after %d completed epochs; "
+                   "checkpointing best-so-far\n",
+                   robust::to_string(stop), session.epochs_completed());
+      break;
     }
     if (checkpoint_every > 0 && !checkpoint_path.empty() &&
         (i + 1) % checkpoint_every == 0) {
-      session.save_checkpoint(checkpoint_path);
+      save_checkpoint_with_retry(session, checkpoint_path);
     }
   }
   const double train_s = timer.seconds();
@@ -209,13 +244,17 @@ int run_training(rl::TrainingSession& session, int epochs,
   // Checkpoint BEFORE the final greedy decode: the checkpoint is then a pure
   // function of the training history, so train(N) and train(k);resume(N-k)
   // write byte-identical files (the CI resume-determinism gate cmp's them).
+  // This also runs on a deadline/signal stop — that final checkpoint is the
+  // resumable best-so-far state.
   if (!checkpoint_path.empty()) {
-    session.save_checkpoint(checkpoint_path);
+    save_checkpoint_with_retry(session, checkpoint_path);
     std::fprintf(stderr, "[train] checkpoint written to %s\n",
                  checkpoint_path.c_str());
   }
-  for (std::size_t t = 0; t < session.num_tasks(); ++t) {
-    session.greedy_episode(t);  // final greedy decode per scenario
+  if (stop == robust::StopReason::kNone) {
+    for (std::size_t t = 0; t < session.num_tasks(); ++t) {
+      session.greedy_episode(t);  // final greedy decode per scenario
+    }
   }
   const long run_steps = session.total_env_steps() - steps_before;
   std::fprintf(stderr,
@@ -248,6 +287,20 @@ int cmd_train_or_resume(int argc, char** argv, bool resume) {
 
   rl::TrainingSession session(session_config(argc, argv),
                               std::move(suite.tasks));
+
+  // Stop signals: a live cancel token wired to SIGINT/SIGTERM (checkpoint +
+  // clean exit on the first signal, default disposition on the second), plus
+  // an optional wall-clock budget.
+  robust::RunControl control;
+  control.cancel = robust::CancelToken::create();
+  robust::install_signal_cancel(control.cancel);
+  const double deadline_s =
+      bench::flag_double(argc, argv, "deadline-s", 0.0);
+  if (deadline_s > 0.0) {
+    control.deadline = robust::Deadline::after_seconds(deadline_s);
+  }
+  session.set_control(control);
+
   if (resume) {
     const std::string from = bench::flag_str(argc, argv, "from", "");
     if (from.empty()) {
@@ -256,9 +309,22 @@ int cmd_train_or_resume(int argc, char** argv, bool resume) {
     }
     // load_checkpoint itself rejects v1 weight-only files in resume mode
     // (use `train train --warm-start=` for those).
-    session.load_checkpoint(from);
-    std::fprintf(stderr, "[train] resumed %s at epoch %d\n", from.c_str(),
-                 session.epochs_completed());
+    const std::vector<std::string> candidates = split_list(from);
+    if (candidates.size() > 1) {
+      // Newest-first candidate list: scan to the newest valid checkpoint,
+      // quarantining (renaming *.corrupt) any that fail validation.
+      const std::string used =
+          rl::load_newest_valid_checkpoint(session, candidates);
+      std::fprintf(stderr,
+                   "[train] resumed %s (newest valid of %zu candidates) at "
+                   "epoch %d\n",
+                   used.c_str(), candidates.size(),
+                   session.epochs_completed());
+    } else {
+      session.load_checkpoint(from);
+      std::fprintf(stderr, "[train] resumed %s at epoch %d\n", from.c_str(),
+                   session.epochs_completed());
+    }
   } else {
     const std::string warm = bench::flag_str(argc, argv, "warm-start", "");
     if (!warm.empty()) {
@@ -475,8 +541,12 @@ int main(int argc, char** argv) {
                "[--grid=12] [--envs=1] [--seed=1]\n"
                "               [--curriculum=round-robin|sampled] [--rnd] "
                "[--metrics=FILE|-] [--out=CKPT]\n"
-               "               [--checkpoint-every=K] [--warm-start=CKPT]\n"
-               "  train resume --from=CKPT --scenarios=... --epochs=N\n"
+               "               [--checkpoint-every=K] [--warm-start=CKPT] "
+               "[--deadline-s=S]\n"
+               "  train resume --from=CKPT[,OLDER,...] --scenarios=... "
+               "--epochs=N\n"
+               "               (candidate list newest first: corrupt files "
+               "are quarantined, newest valid wins)\n"
                "  train eval   --from=CKPT --scenarios=...\n"
                "  train bench  [--json=BENCH_train.json] "
                "[--min-steps-per-sec=F] [--envs=4]\n"
