@@ -1,0 +1,154 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rlplan::serve {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::send_line(const std::string& line) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t sent =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+std::optional<std::string> Client::read_line() {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw_errno("recv");
+    if (n == 0) return std::nullopt;  // EOF
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+util::JsonValue Client::request(
+    const util::JsonValue& req,
+    const std::function<void(const util::JsonValue&)>& on_progress) {
+  send_line(req.dump());
+  for (;;) {
+    const std::optional<std::string> line = read_line();
+    if (!line) throw std::runtime_error("server closed the connection");
+    util::JsonValue response = util::parse_json(*line);
+    if (response.string_or("event", "") == "progress") {
+      if (on_progress) on_progress(response);
+      continue;
+    }
+    return response;
+  }
+}
+
+std::uint64_t Client::submit(const util::JsonValue& scenario_json,
+                             int priority, bool warm_start,
+                             double deadline_s) {
+  util::JsonValue req = util::JsonValue::make_object();
+  req.set("op", "submit");
+  req.set("scenario", scenario_json);
+  if (priority != 0) req.set("priority", priority);
+  if (warm_start) req.set("warm_start", true);
+  if (deadline_s > 0) req.set("deadline_s", deadline_s);
+  const util::JsonValue response = request(req);
+  if (!response.bool_or("ok", false)) {
+    throw std::runtime_error("submit rejected: " +
+                             response.string_or("error", "unknown error"));
+  }
+  return static_cast<std::uint64_t>(response.number_or("id", 0.0));
+}
+
+util::JsonValue Client::wait_result(
+    std::uint64_t id,
+    const std::function<void(const util::JsonValue&)>& on_progress) {
+  util::JsonValue req = util::JsonValue::make_object();
+  req.set("op", "result");
+  req.set("id", id);
+  req.set("wait", true);
+  if (on_progress) req.set("progress", true);
+  return request(req, on_progress);
+}
+
+util::JsonValue Client::status(std::uint64_t id) {
+  util::JsonValue req = util::JsonValue::make_object();
+  req.set("op", "status");
+  req.set("id", id);
+  return request(req);
+}
+
+util::JsonValue Client::cancel(std::uint64_t id) {
+  util::JsonValue req = util::JsonValue::make_object();
+  req.set("op", "cancel");
+  req.set("id", id);
+  return request(req);
+}
+
+util::JsonValue Client::stats() {
+  util::JsonValue req = util::JsonValue::make_object();
+  req.set("op", "stats");
+  return request(req);
+}
+
+util::JsonValue Client::shutdown() {
+  util::JsonValue req = util::JsonValue::make_object();
+  req.set("op", "shutdown");
+  return request(req);
+}
+
+}  // namespace rlplan::serve

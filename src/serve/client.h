@@ -1,0 +1,69 @@
+// Minimal blocking JSONL client for the serve daemon.
+//
+// Wraps one TCP connection: send a request object, read response lines,
+// skipping (or collecting) streamed progress events until the final
+// response. This is the in-tree consumer of the protocol — the load bench
+// and the socket-level tests drive the daemon exactly the way an external
+// client would, over a real socket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/json.h"
+
+namespace rlplan::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port; throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one raw line (newline appended) — escape hatch for tests that
+  /// need to send malformed or oversized payloads.
+  void send_line(const std::string& line);
+
+  /// Reads one response line (without the newline); nullopt on EOF.
+  std::optional<std::string> read_line();
+
+  /// Sends a request object and returns the next non-progress response.
+  /// Progress-event lines ({"event":"progress",...}) are passed to
+  /// `on_progress` when given, silently skipped otherwise. Throws on EOF.
+  util::JsonValue request(
+      const util::JsonValue& req,
+      const std::function<void(const util::JsonValue&)>& on_progress = {});
+
+  // --- Typed helpers over request() ----------------------------------------
+
+  /// Submits a scenario (already in scenario-JSON form); returns the job id.
+  /// Throws std::runtime_error when the daemon answers ok:false.
+  std::uint64_t submit(const util::JsonValue& scenario_json, int priority = 0,
+                       bool warm_start = false, double deadline_s = 0.0);
+
+  /// Blocks until the job is terminal; returns the full result response
+  /// ({"ok":true,"op":"result","job":...,"result":...}).
+  util::JsonValue wait_result(
+      std::uint64_t id,
+      const std::function<void(const util::JsonValue&)>& on_progress = {});
+
+  util::JsonValue status(std::uint64_t id);
+  util::JsonValue cancel(std::uint64_t id);
+  util::JsonValue stats();
+  util::JsonValue shutdown();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace rlplan::serve

@@ -1,0 +1,201 @@
+#include "serve/protocol.h"
+
+#include <exception>
+
+#include "robust/robust.h"
+
+namespace rlplan::serve {
+
+namespace {
+
+std::string error_line(const std::string& message) {
+  util::JsonValue out = util::JsonValue::make_object();
+  out.set("ok", false);
+  out.set("error", message);
+  return out.dump();
+}
+
+std::uint64_t parse_id(const util::JsonValue& request) {
+  const double raw = request.number_or("id", -1.0);
+  if (raw < 0) throw util::JsonError("request needs a non-negative \"id\"");
+  return static_cast<std::uint64_t>(raw);
+}
+
+std::string unknown_job(std::uint64_t id) {
+  return "unknown job id " + std::to_string(id);
+}
+
+}  // namespace
+
+util::JsonValue job_info_to_json(const JobInfo& info) {
+  util::JsonValue out = util::JsonValue::make_object();
+  out.set("id", info.id);
+  out.set("name", info.name);
+  out.set("state", to_string(info.state));
+  out.set("priority", info.priority);
+  if (!info.phase.empty()) out.set("phase", info.phase);
+  out.set("queued_seconds", info.queued_seconds);
+  out.set("run_seconds", info.run_seconds);
+  if (!info.error.empty()) out.set("error", info.error);
+  return out;
+}
+
+util::JsonValue engine_stats_to_json(const EngineStats& stats) {
+  util::JsonValue out = util::JsonValue::make_object();
+  out.set("queue_depth", stats.queue_depth);
+  out.set("running", stats.running);
+  out.set("submitted", stats.submitted);
+  out.set("completed", stats.completed);
+  out.set("failed", stats.failed);
+  out.set("cancelled", stats.cancelled);
+
+  util::JsonValue cache = util::JsonValue::make_object();
+  cache.set("hits", stats.cache.hits);
+  cache.set("misses", stats.cache.misses);
+  cache.set("hit_rate", stats.cache.hit_rate());
+  cache.set("characterize_seconds", stats.cache.characterize_seconds);
+  out.set("model_cache", std::move(cache));
+
+  util::JsonValue warm = util::JsonValue::make_object();
+  warm.set("hits", stats.warm.hits);
+  warm.set("misses", stats.warm.misses);
+  warm.set("stores", stats.warm.stores);
+  out.set("warm_cache", std::move(warm));
+
+  out.set("latency_p50_s", stats.latency_p50_s);
+  out.set("latency_p99_s", stats.latency_p99_s);
+  return out;
+}
+
+bool RequestHandler::handle_line(
+    const std::string& line,
+    const std::function<void(const std::string&)>& sink) {
+  util::JsonValue request;
+  std::string op;
+  try {
+    request = util::parse_json(line);
+    op = request.string_or("op", "");
+    if (op.empty()) throw util::JsonError("request needs an \"op\" string");
+  } catch (const std::exception& e) {
+    sink(error_line(std::string("bad request: ") + e.what()));
+    return true;
+  }
+
+  try {
+    if (op == "submit") {
+      const util::JsonValue* scenario_json = request.find("scenario");
+      if (scenario_json == nullptr) {
+        sink(error_line("submit needs a \"scenario\" object"));
+        return true;
+      }
+      systems::Scenario scenario = systems::scenario_from_json(*scenario_json);
+      SubmitOptions opts;
+      opts.priority = static_cast<int>(request.number_or("priority", 0.0));
+      opts.warm_start = request.bool_or("warm_start", false);
+      opts.deadline_s = request.number_or("deadline_s", 0.0);
+      const std::string name = scenario.name;
+      const std::uint64_t id = engine_.submit(std::move(scenario), opts);
+      util::JsonValue out = util::JsonValue::make_object();
+      out.set("ok", true);
+      out.set("op", "submit");
+      out.set("id", id);
+      out.set("name", name);
+      sink(out.dump());
+      return true;
+    }
+
+    if (op == "status") {
+      const std::uint64_t id = parse_id(request);
+      const std::optional<JobInfo> info = engine_.info(id);
+      if (!info) {
+        sink(error_line(unknown_job(id)));
+        return true;
+      }
+      util::JsonValue out = util::JsonValue::make_object();
+      out.set("ok", true);
+      out.set("op", "status");
+      out.set("job", job_info_to_json(*info));
+      sink(out.dump());
+      return true;
+    }
+
+    if (op == "cancel") {
+      const std::uint64_t id = parse_id(request);
+      const bool known = engine_.cancel(id);
+      util::JsonValue out = util::JsonValue::make_object();
+      out.set("ok", true);
+      out.set("op", "cancel");
+      out.set("id", id);
+      out.set("known", known);
+      sink(out.dump());
+      return true;
+    }
+
+    if (op == "result") {
+      const std::uint64_t id = parse_id(request);
+      const bool wait = request.bool_or("wait", true);
+      const bool stream_progress = request.bool_or("progress", false);
+      std::optional<JobInfo> info;
+      if (wait) {
+        info = engine_.wait(
+            id, stream_progress
+                    ? std::function<void(const JobInfo&)>(
+                          [&](const JobInfo& snap) {
+                            util::JsonValue event =
+                                util::JsonValue::make_object();
+                            event.set("ok", true);
+                            event.set("event", "progress");
+                            event.set("id", snap.id);
+                            event.set("phase", snap.phase);
+                            event.set("state", to_string(snap.state));
+                            sink(event.dump());
+                          })
+                    : std::function<void(const JobInfo&)>{});
+      } else {
+        info = engine_.info(id);
+      }
+      if (!info) {
+        sink(error_line(unknown_job(id)));
+        return true;
+      }
+      const std::optional<util::JsonValue> payload = engine_.result_json(id);
+      if (!payload) {
+        sink(error_line("job " + std::to_string(id) + " not finished"));
+        return true;
+      }
+      util::JsonValue out = util::JsonValue::make_object();
+      out.set("ok", true);
+      out.set("op", "result");
+      out.set("job", job_info_to_json(*info));
+      out.set("result", *payload);
+      sink(out.dump());
+      return true;
+    }
+
+    if (op == "stats") {
+      util::JsonValue out = util::JsonValue::make_object();
+      out.set("ok", true);
+      out.set("op", "stats");
+      out.set("stats", engine_stats_to_json(engine_.stats()));
+      sink(out.dump());
+      return true;
+    }
+
+    if (op == "shutdown") {
+      engine_.request_shutdown();
+      util::JsonValue out = util::JsonValue::make_object();
+      out.set("ok", true);
+      out.set("op", "shutdown");
+      sink(out.dump());
+      return false;  // close this connection; the server owner tears down
+    }
+
+    sink(error_line("unknown op \"" + op + "\""));
+    return true;
+  } catch (const std::exception& e) {
+    sink(error_line(std::string(op) + " failed: " + e.what()));
+    return true;
+  }
+}
+
+}  // namespace rlplan::serve

@@ -51,6 +51,12 @@ void set_log_level(LogLevel level) {
 }
 
 void set_log_prefix(bool enabled) {
+  // Pin the timestamp epoch now, not inside the first prefixed log_line():
+  // a daemon enables the prefix on its main thread before spawning the
+  // accept/worker threads, and eager initialization here means those threads
+  // never race to define the epoch — and timestamps measure "since enable",
+  // not "since whichever log call happened to come first".
+  if (enabled) monotonic_seconds();
   g_prefix.store(enabled, std::memory_order_relaxed);
 }
 

@@ -1,0 +1,117 @@
+// util/log thread-safety and formatting tests.
+//
+// The serve daemon logs from its accept thread, connection threads, and
+// every worker lane while tools toggle the prefix/level globals — so the
+// logging globals being lock-free atomics and log_line() being line-granular
+// under concurrency are load-bearing contracts, pinned here and exercised
+// under the sanitizer CI leg.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.h"
+
+namespace {
+
+using rlplan::LogLevel;
+
+/// Restores the logging globals so tests cannot leak state into each other.
+class LogTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    rlplan::set_log_level(LogLevel::kWarn);
+    rlplan::set_log_prefix(false);
+  }
+};
+
+TEST_F(LogTest, LevelThresholdFilters) {
+  rlplan::set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  rlplan::log_line(LogLevel::kInfo, "dropped");
+  rlplan::log_line(LogLevel::kError, "kept");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept"), std::string::npos);
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+
+  rlplan::set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  rlplan::log_line(LogLevel::kError, "silenced");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, MacroEvaluatesBodyOnlyWhenEnabled) {
+  rlplan::set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  testing::internal::CaptureStderr();
+  RLPLAN_DEBUG << count();  // below threshold: body must not run
+  RLPLAN_ERROR << count();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, PrefixCarriesLevelTimestampAndThreadId) {
+  rlplan::set_log_level(LogLevel::kWarn);
+  rlplan::set_log_prefix(true);
+  EXPECT_TRUE(rlplan::log_prefix_enabled());
+  testing::internal::CaptureStderr();
+  rlplan::log_line(LogLevel::kError, "prefixed");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("[rlplan ERROR "), 0u);
+  EXPECT_NE(out.find(" t"), std::string::npos);  // thread-id column
+  EXPECT_NE(out.find("prefixed"), std::string::npos);
+
+  rlplan::set_log_prefix(false);
+  EXPECT_FALSE(rlplan::log_prefix_enabled());
+  testing::internal::CaptureStderr();
+  rlplan::log_line(LogLevel::kError, "plain");
+  EXPECT_EQ(testing::internal::GetCapturedStderr().find("[rlplan ERROR] "),
+            0u);
+}
+
+TEST_F(LogTest, ConcurrentPrefixTogglingAndLoggingIsLineAtomic) {
+  // The daemon scenario: many threads logging while the prefix flag flips
+  // underneath them. Sanitizers verify the globals are race-free; the line
+  // count + per-line shape verify log_line's line-granular locking (no lost,
+  // duplicated, or interleaved lines).
+  rlplan::set_log_level(LogLevel::kWarn);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        rlplan::set_log_prefix((t + i) % 2 == 0);
+        rlplan::log_line(LogLevel::kError,
+                         "t" + std::to_string(t) + "i" + std::to_string(i));
+        static_cast<void>(rlplan::log_prefix_enabled());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::string out = testing::internal::GetCapturedStderr();
+
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = out.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = out.substr(start, nl - start);
+    start = nl + 1;
+    ++lines;
+    // Whatever the flag said for this line, it must be one complete record.
+    EXPECT_EQ(line.rfind("[rlplan ERROR", 0), 0u) << line;
+    EXPECT_NE(line.find("] t"), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads * kLines));
+}
+
+}  // namespace

@@ -1,18 +1,26 @@
 // Scenario regression harness — the CI quality/perf gate.
 //
 // Loads every scenario JSON in --suite, fans the scenarios out over the
-// shared thread pool (src/parallel), runs the budgeted optimizers on each
-// (TAP-2.5D SA on the incremental fast model; short-budget RLPlanner), scores
-// both results with the ground-truth grid solver, and checks each leg
-// against the scenario's golden envelope: peak-temperature and wirelength
-// ceilings, legality, and optimizer-throughput floors. Results land in one
-// machine-readable JSON report; the exit code is non-zero when any scenario
-// leaves its envelope, so CI can gate on this binary directly.
+// shared thread pool (src/parallel), and runs each through the shared
+// scenario-execution core (serve/runner.h): budgeted TAP-2.5D SA on the
+// incremental fast model, a short-budget RLPlanner leg, ground-truth grid
+// scoring of both, and one batched fast-model re-score. The harness itself
+// keeps what is regression-specific: checking each leg against the
+// scenario's golden envelope (peak-temperature and wirelength ceilings,
+// legality, optimizer-throughput floors) and shaping the JSON report. The
+// exit code is non-zero when any scenario leaves its envelope, so CI can
+// gate on this binary directly.
+//
+// The execution core is the SAME code path the serve daemon runs, which is
+// what makes the daemon's served-vs-inline parity guarantee checkable: CI
+// diffs a served result against a regress run of the same scenario and they
+// must match bit-for-bit on every deterministic field.
 //
 // Fast models are characterized once per distinct (interposer, ambient)
-// footprint and shared across scenarios — the Table II workflow — at a
-// deliberately coarse resolution: the harness guards against *regressions*,
-// so consistency run-to-run matters, sub-Kelvin absolute accuracy does not.
+// footprint and shared across scenarios — the Table II workflow — at the
+// runner's deliberately coarse resolution: the harness guards against
+// *regressions*, so consistency run-to-run matters, sub-Kelvin absolute
+// accuracy does not.
 //
 //   regress --suite=scenarios/ --json=BENCH_regress.json
 //           [--threads=N]      worker threads (default: hardware)
@@ -29,36 +37,17 @@
 //           [--list]           print the suite and exit
 //           [--trace=t.json]   write a Chrome trace of the whole run
 //           [--metrics=m.jsonl] write the merged metrics registry (JSONL)
-//
-// Both legs' best floorplans are additionally re-scored on the fast model
-// through ONE FastThermalModel::evaluate_batch() call per scenario; the
-// resulting fast_temp_c lands next to the grid-truth temp_c in the JSON
-// report, tracking the surrogate's per-scenario fidelity over time.
 #include <algorithm>
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "bump/assigner.h"
-#include "core/reward.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
-#include "rl/planner.h"  // first_fit_floorplan fallback
-#include "rl/session.h"
-#include "robust/robust.h"
-#include "sa/tap25d.h"
+#include "serve/runner.h"
 #include "systems/scenario.h"
-#include "thermal/characterize.h"
-#include "thermal/evaluator.h"
-#include "thermal/grid_solver.h"
-#include "thermal/incremental.h"
 #include "util/json.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -66,272 +55,15 @@
 namespace {
 
 using namespace rlplan;
+using serve::LegResult;
 using systems::Scenario;
 
-constexpr thermal::GridDims kTruthDims{32, 32};
-
-/// One optimizer leg's scored outcome.
-struct LegResult {
-  bool ran = false;
-  bool legal = false;
-  double temp_c = 0.0;          ///< ground-truth peak temperature
-  double fast_temp_c = 0.0;     ///< fast-model peak (batched SoA scoring)
-  double wirelength_mm = 0.0;   ///< microbump wirelength
-  double reward = 0.0;
-  double throughput = 0.0;      ///< SA: evals/s, RL: env steps/s
-  long work = 0;                ///< SA: evaluations, RL: env steps
-  double seconds = 0.0;         ///< optimizer wall time (excludes scoring)
-  double truth_seconds = 0.0;   ///< ground-truth grid solve of the result
-  double fast_seconds = 0.0;    ///< fast-model time inside the optimizer
-  /// kNone unless the scenario deadline cut the optimizer short; the scores
-  /// above are then best-so-far and the JSON row carries a "degraded" tag.
-  robust::StopReason stop_reason = robust::StopReason::kNone;
-  /// RL only: PPO updates rolled back by the NaN guard (chaos or real).
-  int skipped_updates = 0;
-  std::optional<Floorplan> best;  ///< the floorplan behind the scores
-
-  /// Degraded legs report best-so-far; their envelope breaches are waived
-  /// (reported, not gating) because the budget or a fault cut them short.
-  bool degraded() const {
-    return stop_reason != robust::StopReason::kNone || skipped_updates > 0;
-  }
-};
-
+/// One scenario's run outcome plus the envelope verdicts layered on top.
 struct ScenarioResult {
-  std::string name;
-  std::size_t chiplets = 0;
-  double fast_score_seconds = 0.0;  ///< one batched SoA re-score of the bests
-  LegResult sa;
-  LegResult rl;
+  serve::ScenarioRunResult run;
   std::vector<std::string> failures;  ///< empty = within envelope
   std::vector<std::string> waived;    ///< breaches on degraded legs (no gate)
-  std::string error;                  ///< non-empty = scenario crashed
 };
-
-/// Characterized fast models, shared by footprint across scenarios. The map
-/// mutex is held only for entry lookup; characterization itself runs under a
-/// per-footprint once_flag, so distinct footprints characterize concurrently
-/// and only same-footprint requests wait (std::map nodes are
-/// address-stable, which makes the returned references safe).
-class ModelCache {
- public:
-  explicit ModelCache(const thermal::LayerStack& stack) : stack_(stack) {}
-
-  const thermal::FastThermalModel& get(double w, double h) {
-    Entry* entry;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      entry = &models_[std::make_pair(w, h)];
-    }
-    std::call_once(entry->once, [&] {
-      thermal::CharacterizationConfig cc;
-      cc.solver.dims = {24, 24};
-      cc.auto_axis_points = 5;
-      cc.position_points = 5;
-      thermal::ThermalCharacterizer charac(stack_, cc);
-      entry->model.emplace(charac.characterize(w, h));
-      std::fprintf(stderr, "[regress] characterized %.0fx%.0f mm (%.1f s)\n",
-                   w, h, charac.report().total_seconds);
-    });
-    return *entry->model;
-  }
-
- private:
-  struct Entry {
-    std::once_flag once;
-    std::optional<thermal::FastThermalModel> model;
-  };
-
-  const thermal::LayerStack& stack_;
-  std::mutex mutex_;
-  std::map<std::pair<double, double>, Entry> models_;
-};
-
-/// Forwarding decorator accumulating wall time spent inside the wrapped
-/// evaluator — the honest "fast-model share" denominator for the breakdown
-/// table (one steady_clock pair per query, ~40 ns against µs-scale evals).
-/// Single-lane use only (one scenario leg); clone() stays unavailable, which
-/// is fine because both legs run their optimizers serially within a lane.
-class TimedEvaluator final : public thermal::ThermalEvaluator {
- public:
-  explicit TimedEvaluator(std::unique_ptr<thermal::ThermalEvaluator> inner)
-      : inner_(std::move(inner)) {}
-
-  double max_temperature(const ChipletSystem& system,
-                         const Floorplan& floorplan) override {
-    const Timer t;
-    const double v = inner_->max_temperature(system, floorplan);
-    seconds_ += t.seconds();
-    return v;
-  }
-  std::vector<double> max_temperature_batch(
-      const ChipletSystem& system, std::span<const Floorplan> floorplans,
-      parallel::ThreadPool* pool = nullptr) override {
-    const Timer t;
-    auto v = inner_->max_temperature_batch(system, floorplans, pool);
-    seconds_ += t.seconds();
-    return v;
-  }
-  long num_evaluations() const override { return inner_->num_evaluations(); }
-  std::string name() const override { return inner_->name(); }
-
-  bool supports_incremental() const override {
-    return inner_->supports_incremental();
-  }
-  void notify_reset(const ChipletSystem& system) override {
-    inner_->notify_reset(system);
-  }
-  void notify_place(const ChipletSystem& system, std::size_t i,
-                    const Placement& p) override {
-    const Timer t;
-    inner_->notify_place(system, i, p);
-    seconds_ += t.seconds();
-  }
-  void notify_remove(std::size_t i) override { inner_->notify_remove(i); }
-  void commit() override { inner_->commit(); }
-  void rollback() override { inner_->rollback(); }
-  double incremental_max_temperature(const ChipletSystem& system,
-                                     const Floorplan& floorplan) override {
-    const Timer t;
-    const double v = inner_->incremental_max_temperature(system, floorplan);
-    seconds_ += t.seconds();
-    return v;
-  }
-
-  double seconds() const { return seconds_; }
-
- private:
-  std::unique_ptr<thermal::ThermalEvaluator> inner_;
-  double seconds_ = 0.0;
-};
-
-LegResult run_sa_leg(const Scenario& scenario, const ChipletSystem& system,
-                     const thermal::FastThermalModel& model,
-                     const thermal::LayerStack& stack,
-                     std::size_t sa_population,
-                     const robust::RunControl& control) {
-  sa::Tap25dConfig tc;
-  tc.anneal.max_evaluations = scenario.budget.sa_evaluations;
-  tc.anneal.moves_per_temperature = scenario.budget.sa_moves_per_temperature;
-  tc.anneal.cooling = scenario.budget.sa_cooling;
-  tc.anneal.t_final = 1e-5;
-  tc.anneal.control = control;
-  tc.seed = scenario.seed;
-  // Population mode batches inside a scenario; scenario-level parallelism
-  // already saturates the pool, so the batch itself stays on this lane.
-  tc.population = sa_population;
-  tc.batch_threads = 0;
-  sa::Tap25dPlanner planner(tc);
-  TimedEvaluator evaluator(
-      std::make_unique<thermal::IncrementalFastModelEvaluator>(model));
-  const RewardCalculator rc;
-  const bump::BumpAssigner assigner;
-
-  const Timer timer;
-  const sa::Tap25dResult result = planner.plan(system, evaluator, rc,
-                                               assigner);
-  LegResult leg;
-  leg.ran = true;
-  leg.seconds = timer.seconds();
-  leg.fast_seconds = evaluator.seconds();
-  leg.stop_reason = result.stats.stop_reason;
-  leg.legal = result.best.is_complete() && result.best.is_legal();
-  leg.work = result.stats.evaluations;
-  leg.throughput = result.evaluations_per_second();
-  leg.wirelength_mm = assigner.assign(system, result.best).total_mm;
-  thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
-  const Timer truth_timer;
-  leg.temp_c = truth.solve(system, result.best).max_temp_c;
-  leg.truth_seconds = truth_timer.seconds();
-  leg.reward = rc.reward(leg.wirelength_mm, leg.temp_c);
-  leg.best = result.best;
-  return leg;
-}
-
-LegResult run_rl_leg(const Scenario& scenario, const ChipletSystem& system,
-                     const thermal::FastThermalModel& model,
-                     const thermal::LayerStack& stack,
-                     const robust::RunControl& control) {
-  // The RL leg drives the TrainingSession engine directly (the same engine
-  // behind RlPlanner and tools/train.cpp): one single-scenario session over
-  // the shared fast model, budgeted epochs, final greedy decode, then
-  // ground-truth scoring of the best floorplan.
-  rl::TrainingSessionConfig sc;
-  sc.env.grid = scenario.budget.rl_grid;
-  sc.net.grid = scenario.budget.rl_grid;
-  sc.ppo.episodes_per_update = scenario.budget.rl_episodes_per_update;
-  sc.seed = scenario.seed;
-  sc.control = control;
-  std::vector<rl::SessionTask> tasks;
-  auto timed = std::make_unique<TimedEvaluator>(
-      std::make_unique<thermal::IncrementalFastModelEvaluator>(model));
-  const TimedEvaluator* timed_view = timed.get();  // session owns it
-  tasks.push_back({scenario.name, &system, std::move(timed)});
-  rl::TrainingSession session(sc, std::move(tasks));
-
-  const Timer timer;
-  LegResult leg;
-  for (int epoch = 0; epoch < scenario.budget.rl_epochs; ++epoch) {
-    const rl::TrainStats stats = session.train_epoch();
-    if (stats.update_skipped) ++leg.skipped_updates;
-    if (stats.stop_reason != robust::StopReason::kNone) {
-      leg.stop_reason = stats.stop_reason;  // best-so-far from here on
-      break;
-    }
-  }
-  session.greedy_episode(0);  // final greedy decode, as RlPlanner does
-  leg.ran = true;
-  leg.seconds = timer.seconds();
-  leg.fast_seconds = timed_view->seconds();
-  leg.work = session.total_env_steps();
-  leg.throughput =
-      leg.seconds > 0.0 ? static_cast<double>(leg.work) / leg.seconds : 0.0;
-  // Degrade gracefully when the short budget never completed an episode —
-  // the first-fit fallback RlPlanner applies (scores will still be gated).
-  std::optional<Floorplan> best;
-  if (session.has_best(0)) {
-    best = session.best_floorplan(0);
-  } else {
-    try {
-      best = rl::first_fit_floorplan(system, sc.env);
-    } catch (const std::exception&) {
-      return leg;  // nothing fits: leg stays illegal
-    }
-  }
-  leg.legal = best->is_complete() && best->is_legal();
-  const bump::BumpAssigner assigner;
-  leg.wirelength_mm = assigner.assign(system, *best).total_mm;
-  thermal::GridThermalSolver truth(stack, {.dims = kTruthDims});
-  const Timer truth_timer;
-  leg.temp_c = truth.solve(system, *best).max_temp_c;
-  leg.truth_seconds = truth_timer.seconds();
-  leg.reward = RewardCalculator{}.reward(leg.wirelength_mm, leg.temp_c);
-  leg.best = std::move(best);
-  return leg;
-}
-
-/// Re-scores every leg's best floorplan on the fast model through one
-/// batched SoA call — the surrogate-vs-truth fidelity column of the report.
-double score_legs_fast(const ChipletSystem& system,
-                       const thermal::FastThermalModel& model,
-                       std::vector<LegResult*> legs) {
-  std::vector<Floorplan> candidates;
-  std::vector<LegResult*> owners;
-  for (LegResult* leg : legs) {
-    if (leg->ran && leg->best.has_value()) {
-      candidates.push_back(*leg->best);
-      owners.push_back(leg);
-    }
-  }
-  if (candidates.empty()) return 0.0;
-  const Timer timer;
-  const auto results = model.evaluate_batch(
-      system, std::span<const Floorplan>(candidates));
-  for (std::size_t i = 0; i < owners.size(); ++i) {
-    owners[i]->fast_temp_c = results[i].max_temp_c;
-  }
-  return timer.seconds();
-}
 
 void check_leg(const char* tag, const LegResult& leg,
                const systems::ScenarioEnvelope& envelope, double floor_hz,
@@ -364,69 +96,28 @@ void check_leg(const char* tag, const LegResult& leg,
   }
 }
 
-ScenarioResult run_scenario(const Scenario& scenario, ModelCache& models,
-                            const thermal::LayerStack& stack,
-                            double perf_scale, std::size_t sa_population,
+ScenarioResult run_scenario(const Scenario& scenario,
+                            serve::ScenarioRunner& runner, double perf_scale,
                             double deadline_s) {
+  serve::RunOptions opts;
+  opts.deadline_s = deadline_s;
   ScenarioResult r;
-  r.name = scenario.name;
-  try {
-    const ChipletSystem system = scenario.build_system();
-    r.chiplets = system.num_chiplets();
-    const thermal::FastThermalModel& model = models.get(
-        system.interposer_width(), system.interposer_height());
-    // One wall-clock budget covers both optimizer legs (a slow SA leg leaves
-    // correspondingly less time for the RL leg). The clock starts after the
-    // shared characterization, which amortizes across scenarios and must not
-    // eat the first scenario's budget.
-    robust::RunControl control;
-    if (deadline_s > 0.0) {
-      control.deadline = robust::Deadline::after_seconds(deadline_s);
-    }
-    // A degraded leg (deadline hit, NaN-guard rollback) reports best-so-far;
-    // its envelope breaches are surfaced as "waived" instead of failing the
-    // gate, so chaos/deadline runs assert "in-envelope or explicitly
-    // degraded-tagged" rather than crashing the suite status.
-    if (scenario.budget.run_sa) {
-      r.sa = run_sa_leg(scenario, system, model, stack, sa_population,
-                        control);
-      check_leg("sa", r.sa, scenario.envelope,
-                scenario.envelope.min_sa_evals_per_sec, perf_scale,
-                r.sa.degraded() ? r.waived : r.failures);
-    }
-    if (scenario.budget.run_rl) {
-      r.rl = run_rl_leg(scenario, system, model, stack, control);
-      check_leg("rl", r.rl, scenario.envelope,
-                scenario.envelope.min_rl_steps_per_sec, perf_scale,
-                r.rl.degraded() ? r.waived : r.failures);
-    }
-    r.fast_score_seconds = score_legs_fast(system, model, {&r.sa, &r.rl});
-  } catch (const std::exception& e) {
-    r.error = e.what();
+  r.run = runner.run(scenario, opts);
+  // A degraded leg (deadline hit, NaN-guard rollback) reports best-so-far;
+  // its envelope breaches are surfaced as "waived" instead of failing the
+  // gate, so chaos/deadline runs assert "in-envelope or explicitly
+  // degraded-tagged" rather than crashing the suite status.
+  if (r.run.sa.ran) {
+    check_leg("sa", r.run.sa, scenario.envelope,
+              scenario.envelope.min_sa_evals_per_sec, perf_scale,
+              r.run.sa.degraded() ? r.waived : r.failures);
+  }
+  if (r.run.rl.ran) {
+    check_leg("rl", r.run.rl, scenario.envelope,
+              scenario.envelope.min_rl_steps_per_sec, perf_scale,
+              r.run.rl.degraded() ? r.waived : r.failures);
   }
   return r;
-}
-
-util::JsonValue leg_to_json(const LegResult& leg) {
-  util::JsonValue j = util::JsonValue::make_object();
-  j.set("legal", leg.legal);
-  j.set("temp_c", leg.temp_c);
-  j.set("fast_temp_c", leg.fast_temp_c);
-  j.set("wirelength_mm", leg.wirelength_mm);
-  j.set("reward", leg.reward);
-  j.set("work", leg.work);
-  j.set("per_sec", leg.throughput);
-  j.set("seconds", leg.seconds);
-  j.set("truth_seconds", leg.truth_seconds);
-  j.set("fast_model_seconds", leg.fast_seconds);
-  // Degraded-only fields, mirroring train's JSONL: fault-free reports stay
-  // byte-identical across builds.
-  if (leg.degraded()) {
-    j.set("degraded", true);
-    j.set("stop_reason", std::string(robust::to_string(leg.stop_reason)));
-    if (leg.skipped_updates > 0) j.set("skipped_updates", leg.skipped_updates);
-  }
-  return j;
 }
 
 util::JsonValue report_to_json(const std::string& suite,
@@ -441,12 +132,12 @@ util::JsonValue report_to_json(const std::string& suite,
   std::size_t failed = 0;
   for (const ScenarioResult& r : results) {
     util::JsonValue row = util::JsonValue::make_object();
-    row.set("name", r.name);
-    row.set("chiplets", r.chiplets);
-    const bool pass = r.error.empty() && r.failures.empty();
+    row.set("name", r.run.name);
+    row.set("chiplets", r.run.chiplets);
+    const bool pass = r.run.error.empty() && r.failures.empty();
     row.set("pass", pass);
     if (!pass) ++failed;
-    if (!r.error.empty()) row.set("error", r.error);
+    if (!r.run.error.empty()) row.set("error", r.run.error);
     util::JsonValue failures = util::JsonValue::make_array();
     for (const std::string& f : r.failures) failures.push_back(f);
     row.set("failures", std::move(failures));
@@ -455,9 +146,9 @@ util::JsonValue report_to_json(const std::string& suite,
       for (const std::string& w : r.waived) waived.push_back(w);
       row.set("waived", std::move(waived));
     }
-    if (r.sa.ran) row.set("sa", leg_to_json(r.sa));
-    if (r.rl.ran) row.set("rl", leg_to_json(r.rl));
-    row.set("fast_score_seconds", r.fast_score_seconds);
+    if (r.run.sa.ran) row.set("sa", serve::leg_to_json(r.run.sa));
+    if (r.run.rl.ran) row.set("rl", serve::leg_to_json(r.run.rl));
+    row.set("fast_score_seconds", r.run.fast_score_seconds);
     rows.push_back(std::move(row));
   }
   j.set("scenarios", std::move(rows));
@@ -516,8 +207,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const thermal::LayerStack stack = thermal::LayerStack::default_2p5d();
-  ModelCache models(stack);
+  serve::RunnerConfig runner_config;
+  runner_config.sa_population = sa_population;
+  serve::ScenarioRunner runner(thermal::LayerStack::default_2p5d(),
+                               runner_config);
   std::vector<ScenarioResult> results(suite.size());
 
   const Timer timer;
@@ -527,38 +220,46 @@ int main(int argc, char** argv) {
       1, std::min(threads, suite.size()));
   parallel::ThreadPool pool(lanes);
   pool.parallel_for(suite.size(), [&](std::size_t i) {
-    results[i] = run_scenario(suite[i], models, stack, perf_scale,
-                              sa_population, scenario_deadline_s);
+    results[i] = run_scenario(suite[i], runner, perf_scale,
+                              scenario_deadline_s);
     const ScenarioResult& r = results[i];
-    const bool degraded = r.sa.degraded() || r.rl.degraded();
-    std::fprintf(stderr, "[regress] %-24s %s%s\n", r.name.c_str(),
-                 r.error.empty() && r.failures.empty() ? "ok" : "FAIL",
-                 degraded ? " (degraded)" : "");
+    std::fprintf(stderr, "[regress] %-24s %s%s\n", r.run.name.c_str(),
+                 r.run.error.empty() && r.failures.empty() ? "ok" : "FAIL",
+                 r.run.degraded() ? " (degraded)" : "");
   });
   const double total_s = timer.seconds();
+  const serve::CharacterizationCacheStats cache_stats =
+      runner.model_cache().stats();
+  std::fprintf(stderr,
+               "[regress] characterized %zu footprint(s) in %.1f s "
+               "(%llu cache hits)\n",
+               runner.model_cache().entries(),
+               cache_stats.characterize_seconds,
+               static_cast<unsigned long long>(cache_stats.hits));
 
   std::printf("\n%-24s %8s %5s %9s %11s %11s %9s\n", "Scenario", "chiplets",
               "leg", "temp(C)", "WL(mm)", "thru(/s)", "status");
   std::size_t failed = 0;
   for (const ScenarioResult& r : results) {
-    const bool pass = r.error.empty() && r.failures.empty();
+    const bool pass = r.run.error.empty() && r.failures.empty();
     if (!pass) ++failed;
     const auto print_leg = [&](const char* tag, const LegResult& leg) {
       if (!leg.ran) return;
-      std::printf("%-24s %8zu %5s %9.2f %11.0f %11.1f %9s\n", r.name.c_str(),
-                  r.chiplets, tag, leg.temp_c, leg.wirelength_mm,
-                  leg.throughput, pass ? "ok" : "FAIL");
+      std::printf("%-24s %8zu %5s %9.2f %11.0f %11.1f %9s\n",
+                  r.run.name.c_str(), r.run.chiplets, tag, leg.temp_c,
+                  leg.wirelength_mm, leg.throughput, pass ? "ok" : "FAIL");
     };
-    print_leg("sa", r.sa);
-    print_leg("rl", r.rl);
-    if (!r.error.empty()) {
-      std::printf("%-24s error: %s\n", r.name.c_str(), r.error.c_str());
+    print_leg("sa", r.run.sa);
+    print_leg("rl", r.run.rl);
+    if (!r.run.error.empty()) {
+      std::printf("%-24s error: %s\n", r.run.name.c_str(),
+                  r.run.error.c_str());
     }
     for (const std::string& f : r.failures) {
-      std::printf("%-24s breach: %s\n", r.name.c_str(), f.c_str());
+      std::printf("%-24s breach: %s\n", r.run.name.c_str(), f.c_str());
     }
     for (const std::string& w : r.waived) {
-      std::printf("%-24s waived (degraded leg): %s\n", r.name.c_str(),
+      std::printf("%-24s waived (degraded leg): %s\n", r.run.name.c_str(),
                   w.c_str());
     }
   }
@@ -570,17 +271,17 @@ int main(int argc, char** argv) {
               "truth(s)", "fast(s)", "fast-share");
   double tot_sa = 0.0, tot_rl = 0.0, tot_truth = 0.0, tot_fast = 0.0;
   for (const ScenarioResult& r : results) {
-    const double truth_s = r.sa.truth_seconds + r.rl.truth_seconds;
-    const double fast_s =
-        r.sa.fast_seconds + r.rl.fast_seconds + r.fast_score_seconds;
-    const double opt_s = r.sa.seconds + r.rl.seconds;
-    tot_sa += r.sa.seconds;
-    tot_rl += r.rl.seconds;
+    const double truth_s = r.run.sa.truth_seconds + r.run.rl.truth_seconds;
+    const double fast_s = r.run.sa.fast_seconds + r.run.rl.fast_seconds +
+                          r.run.fast_score_seconds;
+    const double opt_s = r.run.sa.seconds + r.run.rl.seconds;
+    tot_sa += r.run.sa.seconds;
+    tot_rl += r.run.rl.seconds;
     tot_truth += truth_s;
     tot_fast += fast_s;
-    std::printf("%-24s %8.2f %8.2f %9.2f %9.2f %10.1f%%\n", r.name.c_str(),
-                r.sa.seconds, r.rl.seconds, truth_s, fast_s,
-                opt_s > 0.0 ? 100.0 * fast_s / opt_s : 0.0);
+    std::printf("%-24s %8.2f %8.2f %9.2f %9.2f %10.1f%%\n",
+                r.run.name.c_str(), r.run.sa.seconds, r.run.rl.seconds,
+                truth_s, fast_s, opt_s > 0.0 ? 100.0 * fast_s / opt_s : 0.0);
   }
   const double tot_opt = tot_sa + tot_rl;
   std::printf("%-24s %8.2f %8.2f %9.2f %9.2f %10.1f%%\n", "TOTAL", tot_sa,
