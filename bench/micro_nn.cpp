@@ -3,6 +3,9 @@
 // full PPO epoch at miniature scale.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
+#include "nn/layers.h"
 #include "rl/env.h"
 #include "rl/policy_net.h"
 #include "rl/ppo.h"
@@ -33,6 +36,62 @@ const ChipletSystem& test_system() {
   }();
   return sys;
 }
+
+// The raw Linear matmuls behind the policy trunk's fc layer — at the PPO
+// shapes the register-blocked kernels were tiled for: flatten->fc
+// (16*6*6 = 576 -> 128 at grid 24) and the policy head (128 -> G*G).
+void BM_LinearForward(benchmark::State& state) {
+  const auto in = static_cast<std::size_t>(state.range(0));
+  const auto out = static_cast<std::size_t>(state.range(1));
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  Rng rng(6);
+  nn::Linear layer(in, out, rng);
+  nn::Tensor x({batch, in});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(x).data().data());
+  }
+  state.SetLabel(std::to_string(in) + "->" + std::to_string(out) + " batch " +
+                 std::to_string(batch));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * in * out));
+}
+BENCHMARK(BM_LinearForward)
+    ->Args({576, 128, 64})
+    ->Args({128, 576, 64})
+    ->Args({128, 1, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LinearBackward(benchmark::State& state) {
+  const auto in = static_cast<std::size_t>(state.range(0));
+  const auto out = static_cast<std::size_t>(state.range(1));
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  Rng rng(7);
+  nn::Linear layer(in, out, rng);
+  nn::Tensor x({batch, in});
+  nn::Tensor g({batch, out});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    g[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  layer.forward(x);
+  for (auto _ : state) {
+    layer.zero_grad();
+    benchmark::DoNotOptimize(layer.backward(g).data().data());
+  }
+  state.SetLabel(std::to_string(in) + "->" + std::to_string(out) + " batch " +
+                 std::to_string(batch));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * in * out));
+}
+BENCHMARK(BM_LinearBackward)
+    ->Args({576, 128, 64})
+    ->Args({128, 576, 64})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PolicyForward(benchmark::State& state) {
   const auto grid = static_cast<std::size_t>(state.range(0));

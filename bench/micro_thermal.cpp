@@ -318,6 +318,12 @@ void write_json(const std::string& path, const std::vector<MoveRow>& rows,
   os << "{\n  \"bench\": \"micro_thermal_incremental\",\n"
      << "  \"moves_per_size\": " << moves << ",\n"
      << "  \"batch_threads\": " << batch_threads << ",\n"
+     // Which kernel flavour the SoA batch numbers were produced with
+     // (avx2/neon/scalar) — the runtime dispatch choice, after any
+     // RLPLANNER_SIMD override; CI publishes it with the speedup trend.
+     << "  \"simd\": \""
+     << util::simd_level_name(thermal::SoaSnapshot::dispatch_level())
+     << "\",\n"
      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -381,8 +387,10 @@ int main(int argc, char** argv) {
                 r.max_abs_diff_c);
   }
 
-  std::printf("\nwhole-floorplan candidates, evaluate_batch (SoA kernel, %zu "
-              "threads) vs repeated evaluate() (batch %zu, %ld repeats)\n",
+  std::printf("\nwhole-floorplan candidates, evaluate_batch (SoA kernel, "
+              "simd=%s, %zu threads) vs repeated evaluate() (batch %zu, %ld "
+              "repeats)\n",
+              util::simd_level_name(thermal::SoaSnapshot::dispatch_level()),
               batch_threads, batch, batch_repeats);
   std::printf("%9s %7s %18s %18s %9s %14s\n", "chiplets", "batch",
               "single evals/s", "batch evals/s", "speedup", "max |diff| C");

@@ -69,10 +69,37 @@ Tensor Linear::forward(const Tensor& x) {
   const auto xd = x.data();
   const auto wd = weight_.value.data();
   const auto bd = bias_.value.data();
+  // Register-blocked over 4 outputs: one load of xr[i] feeds 4 independent
+  // FMA chains, hiding the add latency the single-accumulator loop is bound
+  // by. Each output still accumulates sequentially over i in one float, so
+  // results are bit-identical to the naive o-at-a-time loop (pinned by
+  // nn_batch_test).
   for_each_batch_row(batch, [&](std::size_t b) {
     const float* xr = xd.data() + b * in_;
     float* yr = y.data().data() + b * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
+    std::size_t o = 0;
+    for (; o + 4 <= out_; o += 4) {
+      const float* w0 = wd.data() + o * in_;
+      const float* w1 = w0 + in_;
+      const float* w2 = w1 + in_;
+      const float* w3 = w2 + in_;
+      float a0 = bd[o];
+      float a1 = bd[o + 1];
+      float a2 = bd[o + 2];
+      float a3 = bd[o + 3];
+      for (std::size_t i = 0; i < in_; ++i) {
+        const float xi = xr[i];
+        a0 += w0[i] * xi;
+        a1 += w1[i] * xi;
+        a2 += w2[i] * xi;
+        a3 += w3[i] * xi;
+      }
+      yr[o] = a0;
+      yr[o + 1] = a1;
+      yr[o + 2] = a2;
+      yr[o + 3] = a3;
+    }
+    for (; o < out_; ++o) {
       const float* wr = wd.data() + o * in_;
       float acc = bd[o];
       for (std::size_t i = 0; i < in_; ++i) acc += wr[i] * xr[i];
@@ -95,13 +122,20 @@ Tensor Linear::backward(const Tensor& grad_out) {
   auto dwd = weight_.grad.data();
   auto dbd = bias_.grad.data();
   auto dxd = dx.data();
+  // Fused over 4 outputs so each xr[i] load and dxr[i] read-modify-write is
+  // amortized across 4 gradient rows. Per element, dxr[i] still receives its
+  // contributions in ascending-o order — the same order as the naive loop —
+  // so gradients are bit-identical (pinned by nn_grad_test). Blocks holding
+  // a zero gradient take the per-output path below to keep the g == 0 skip
+  // semantics exactly (skipping avoids += 0.0f, which would flush -0.0f
+  // accumulators to +0.0f).
   for (std::size_t b = 0; b < batch; ++b) {
     const float* xr = xd.data() + b * in_;
     const float* gr = gd.data() + b * out_;
     float* dxr = dxd.data() + b * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
+    const auto one_output = [&](std::size_t o) {
       const float g = gr[o];
-      if (g == 0.0f) continue;
+      if (g == 0.0f) return;
       const float* wr = wd.data() + o * in_;
       float* dwr = dwd.data() + o * in_;
       dbd[o] += g;
@@ -109,7 +143,47 @@ Tensor Linear::backward(const Tensor& grad_out) {
         dwr[i] += g * xr[i];
         dxr[i] += g * wr[i];
       }
+    };
+    std::size_t o = 0;
+    for (; o + 4 <= out_; o += 4) {
+      const float g0 = gr[o];
+      const float g1 = gr[o + 1];
+      const float g2 = gr[o + 2];
+      const float g3 = gr[o + 3];
+      if (g0 == 0.0f || g1 == 0.0f || g2 == 0.0f || g3 == 0.0f) {
+        one_output(o);
+        one_output(o + 1);
+        one_output(o + 2);
+        one_output(o + 3);
+        continue;
+      }
+      const float* w0 = wd.data() + o * in_;
+      const float* w1 = w0 + in_;
+      const float* w2 = w1 + in_;
+      const float* w3 = w2 + in_;
+      float* dw0 = dwd.data() + o * in_;
+      float* dw1 = dw0 + in_;
+      float* dw2 = dw1 + in_;
+      float* dw3 = dw2 + in_;
+      dbd[o] += g0;
+      dbd[o + 1] += g1;
+      dbd[o + 2] += g2;
+      dbd[o + 3] += g3;
+      for (std::size_t i = 0; i < in_; ++i) {
+        const float xi = xr[i];
+        dw0[i] += g0 * xi;
+        dw1[i] += g1 * xi;
+        dw2[i] += g2 * xi;
+        dw3[i] += g3 * xi;
+        float acc = dxr[i];
+        acc += g0 * w0[i];
+        acc += g1 * w1[i];
+        acc += g2 * w2[i];
+        acc += g3 * w3[i];
+        dxr[i] = acc;
+      }
     }
+    for (; o < out_; ++o) one_output(o);
   }
   return dx;
 }
@@ -274,7 +348,11 @@ Tensor Flatten::forward(const Tensor& x) {
   }
   cached_shape_ = x.shape();
   Tensor y = x;
-  y.reshape({x.dim(0), x.numel() / x.dim(0)});
+  // Inner size is the product of the non-batch dims, not numel()/dim(0):
+  // the quotient form divides by zero on an empty batch.
+  std::size_t inner = 1;
+  for (std::size_t d = 1; d < x.rank(); ++d) inner *= x.dim(d);
+  y.reshape({x.dim(0), inner});
   return y;
 }
 

@@ -1,0 +1,87 @@
+// Explicitly vectorized implementations of the SoA batch kernel's hot loop,
+// selected at runtime via util/simd.
+//
+// Conceptually the kernel is two passes — pass 1 (distance -> capped table
+// coordinate -> segment index + fraction) and pass 2 (segment-LUT gather /
+// interpolate / accumulate) — and the scalar reference in SoaSnapshot keeps
+// them as two separate sweeps because that is what auto-vectorizes best.
+// The explicit kernels fuse both passes into ONE sweep per source block: the
+// index/fraction intermediates never round-trip through memory (at
+// production block sizes of ~18-36 points the store/reload traffic costs as
+// much as the arithmetic), and each block reduces straight to its subtotal.
+//
+// Numerical contract (gated by tests/soa_kernel_test.cpp at the repo-wide
+// 1e-9 C bar):
+//  * the per-point operations are exactly the scalar kernel's (sqrt,
+//    min/max, one multiply, truncate, one fused lerp). sqrt/min/max are
+//    correctly rounded in both, so a point can differ from the scalar pass
+//    only when FMA contraction of the distance square shifts a coordinate by
+//    an ulp across a segment boundary — the interpolant is continuous there,
+//    so the value error stays at ulp level.
+//  * accumulation keeps the per-SOURCE order of the scalar kernel (one
+//    subtotal per source block, blocks combined by the caller in scalar
+//    order), so error does not grow with die count. Within a source block
+//    the lanes sum in a fixed tree order instead of strictly left-to-right:
+//    a few-ulp difference on the block subtotal, identical for every run
+//    and thread count.
+//
+// Each ISA lives in its own translation unit (soa_kernels_avx2.cpp built
+// with -mavx2 -mfma on x86-64, soa_kernels_neon.cpp on AArch64); on foreign
+// architectures those TUs compile to a stub returning nullptr, so the
+// dispatch below degrades to scalar instead of failing to link.
+#pragma once
+
+#include <cstddef>
+
+#include "util/simd.h"
+
+namespace rlplan::thermal {
+
+/// Function-pointer table for one SIMD level. Each entry is a fused sweep
+/// over `n_src` source blocks of `pts_per_src` points: for every a in
+/// [0, n_src), subtotal[a] accumulates the interpolated decay over points
+/// [a*pts_per_src, (a+1)*pts_per_src) of sx/sy. One indirect call covers a
+/// whole probe — per-(probe, source) calls would be dominated by call and
+/// constant-setup cost at production block sizes. All lengths are in points;
+/// buffers may be unaligned (the snapshot's std::vector storage).
+///
+/// Shared per-point math: d = sqrt((sx[k]-px)^2 + (sy[k]-py)^2);
+/// x = min((clamp(d, front, back) - front) * inv_step, cap);
+/// (base, diff) = lut[2*trunc(x)], lut[2*trunc(x)+1]; v = base +
+/// (x - trunc(x)) * diff.
+struct SoaKernelOps {
+  /// Images with unit weights: subtotal[a] = sum of max(v, 0).
+  void (*sweep_unit)(const double* sx, const double* sy, double px, double py,
+                     double front, double back, double inv_step, double cap,
+                     const double* lut, std::size_t pts_per_src,
+                     std::size_t n_src, double* subtotal);
+  /// Images with per-point weights: subtotal[a] = sum of w[t]*max(v, 0),
+  /// where w holds ONE block's weights (pts_per_src entries) reused for
+  /// every source block.
+  void (*sweep_weighted)(const double* sx, const double* sy, double px,
+                         double py, double front, double back, double inv_step,
+                         double cap, const double* lut, const double* w,
+                         std::size_t pts_per_src, std::size_t n_src,
+                         double* subtotal);
+  /// No images: subtotal[a] = sum of v (no floor, no clamp to zero).
+  void (*sweep_raw)(const double* sx, const double* sy, double px, double py,
+                    double front, double back, double inv_step, double cap,
+                    const double* lut, std::size_t pts_per_src,
+                    std::size_t n_src, double* subtotal);
+};
+
+/// Ops for `level`, or nullptr when the level is kScalar or its kernels are
+/// not compiled in / not supported by this build's architecture. Callers
+/// fall back to their scalar reference path on nullptr.
+const SoaKernelOps* soa_kernel_ops(util::SimdLevel level);
+
+/// The level soa_kernel_ops() would actually serve for util::active_simd_level()
+/// — i.e. the process-wide dispatch choice with unavailable levels collapsed
+/// to kScalar. This is the value benches publish.
+util::SimdLevel soa_dispatch_level();
+
+// Per-ISA tables (defined in their own TUs; nullptr when unavailable).
+const SoaKernelOps* soa_kernel_ops_avx2();
+const SoaKernelOps* soa_kernel_ops_neon();
+
+}  // namespace rlplan::thermal

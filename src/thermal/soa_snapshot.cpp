@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "thermal/soa_kernels.h"
 #include "util/timer.h"
 
 namespace rlplan::thermal {
+
+util::SimdLevel SoaSnapshot::dispatch_level() { return soa_dispatch_level(); }
+
+util::SimdLevel SoaSnapshot::set_simd_level(util::SimdLevel level) {
+  ops_ = soa_kernel_ops(level);
+  simd_level_ = ops_ != nullptr ? level : util::SimdLevel::kScalar;
+  return simd_level_;
+}
 
 SoaSnapshot::SoaSnapshot(const FastThermalModel& model,
                          const ChipletSystem& system)
@@ -34,6 +44,15 @@ SoaSnapshot::SoaSnapshot(const FastThermalModel& model,
   floor_ = model.uniform_floor();
   ambient_c_ = model.ambient_c();
   mutual_ = model.mutual_table().view();
+  // MutualResistanceTable's own constructor enforces >= 2 knots, but the
+  // cap/LUT math below underflows std::size_t (0 entries) or degenerates
+  // (1 entry) if a malformed table ever slips through another path —
+  // validate here, before any size - 1 arithmetic.
+  if (mutual_.size < 2) {
+    throw std::invalid_argument(
+        "SoaSnapshot: mutual table needs >= 2 knots, got " +
+        std::to_string(mutual_.size));
+  }
   lut_img_.assign(2 * mutual_.size, 0.0);
   lut_raw_.assign(2 * mutual_.size, 0.0);
   for (std::size_t i = 0; i < mutual_.size; ++i) {
@@ -49,6 +68,13 @@ SoaSnapshot::SoaSnapshot(const FastThermalModel& model,
   // double below nk-1, making trunc() land on the last segment with a
   // fraction of ~1 — the same interpolated value to within an ulp.
   coord_cap_ = std::nextafter(static_cast<double>(mutual_.size - 1), 0.0);
+  if (use_images_) {
+    w_flat_.resize(ss_ * 9);
+    for (std::size_t s = 0; s < ss_; ++s) {
+      std::copy(img_w_, img_w_ + 9, w_flat_.data() + s * 9);
+    }
+  }
+  set_simd_level(util::active_simd_level());
 
   placed_.assign(n_, 0);
   self_rise_.assign(n_, 0.0);
@@ -202,6 +228,61 @@ double SoaSnapshot::receiver_rise_uniform(std::size_t i) const {
   return worst;
 }
 
+double SoaSnapshot::receiver_rise_uniform_simd(std::size_t i) const {
+  const std::size_t n_src = src_die_.size();
+  const std::size_t pts_per_src = ss_ * img_;
+  const double* sx = src_x_.data();
+  const double* sy = src_y_.data();
+  const double floor_per_src = static_cast<double>(ss_) * floor_;
+  const double self = self_rise_[i];
+  const SoaKernelOps& ops = *ops_;
+  // Same unit-weight shortcut as the scalar kernel: reflectivity 1.0 makes
+  // every image weight exactly 1, so the weighted pass reduces to the plain
+  // clamped sum.
+  const bool unit_weights = use_images_ && img_w_[1] == 1.0;
+  double* sub = sub_.data();
+
+  double worst = 0.0;
+  for (std::size_t p = 0; p < pc_; ++p) {
+    const double px = probe_x_[i * pc_ + p];
+    const double py = probe_y_[i * pc_ + p];
+    // One fused sweep per probe covers every source block: both conceptual
+    // passes run in a single loop (the index/fraction intermediates of the
+    // scalar kernel's two-pass form never round-trip through memory, which
+    // at ~18-36-point blocks costs as much as the arithmetic), and the one
+    // indirect call amortizes over the probe instead of per source.
+    // Self-interaction blocks are computed too (their inputs are valid, the
+    // result is discarded below) — that wastes 1/n_src of the sweep, far
+    // less than a branchy kernel would cost.
+    if (!use_images_) {
+      ops.sweep_raw(sx, sy, px, py, mutual_.front, mutual_.back,
+                    mutual_.inv_step, coord_cap_, lut_raw_.data(), pts_per_src,
+                    n_src, sub);
+    } else if (unit_weights) {
+      ops.sweep_unit(sx, sy, px, py, mutual_.front, mutual_.back,
+                     mutual_.inv_step, coord_cap_, lut_img_.data(),
+                     pts_per_src, n_src, sub);
+    } else {
+      ops.sweep_weighted(sx, sy, px, py, mutual_.front, mutual_.back,
+                         mutual_.inv_step, coord_cap_, lut_img_.data(),
+                         w_flat_.data(), pts_per_src, n_src, sub);
+    }
+    // Sources combine in the scalar kernel's order (one subtotal per source,
+    // scaled then summed ascending), so only the within-source lane order
+    // differs from the reference — the documented few-ulp envelope.
+    double mutual = 0.0;
+    for (std::size_t a = 0; a < n_src; ++a) {
+      if (src_die_[a] == i) continue;
+      double m = use_images_ ? floor_per_src + sub[a] : sub[a];
+      m *= src_scale_[a];
+      m *= pair_corr_[a];
+      mutual += m;
+    }
+    worst = std::max(worst, self * shape_[i * pc_ + p] + mutual);
+  }
+  return worst;
+}
+
 double SoaSnapshot::receiver_rise_exact(std::size_t i) const {
   const std::size_t n_src = src_die_.size();
   const std::size_t pts_per_src = ss_ * img_;
@@ -257,6 +338,7 @@ void SoaSnapshot::evaluate(FastThermalResult& out) const {
   idx_.resize(n_src * ss_ * img_);
   frac_.resize(n_src * ss_ * img_);
   pair_corr_.resize(n_src);
+  sub_.resize(n_src);
   const bool uniform = mutual_.inv_step > 0.0 && mutual_.size >= 2;
 
   for (std::size_t i = 0; i < n_; ++i) {
@@ -268,8 +350,9 @@ void SoaSnapshot::evaluate(FastThermalResult& out) const {
     for (std::size_t a = 0; a < n_src; ++a) {
       pair_corr_[a] = correct_pairs_ ? std::sqrt(src_corr_[a] * c_dst) : 1.0;
     }
-    const double rise =
-        uniform ? receiver_rise_uniform(i) : receiver_rise_exact(i);
+    const double rise = !uniform            ? receiver_rise_exact(i)
+                        : ops_ != nullptr   ? receiver_rise_uniform_simd(i)
+                                            : receiver_rise_uniform(i);
     out.chiplet_temp_c[i] = ambient_c_ + rise;
   }
 
@@ -308,13 +391,15 @@ std::vector<FastThermalResult> FastThermalModel::evaluate_batch(
     run_chunk(snapshot, 0, floorplans.size());
     return results;
   }
-  // One snapshot per lane; lane c owns the contiguous candidate range
-  // [b*c/lanes, b*(c+1)/lanes) so results are index-aligned and identical
-  // for every thread count.
+  // One snapshot per lane; lane c owns a contiguous candidate range so
+  // results are index-aligned and identical for every thread count.
+  // batch_lane_range never forms a b * lanes product, so the split stays
+  // exact for any candidate count (the naive b*c/lanes formula overflows).
   std::vector<SoaSnapshot> snapshots(lanes, SoaSnapshot(*this, system));
   const std::size_t b = floorplans.size();
   pool->parallel_for(lanes, [&](std::size_t c) {
-    run_chunk(snapshots[c], b * c / lanes, b * (c + 1) / lanes);
+    const auto [lo, hi] = batch_lane_range(b, lanes, c);
+    run_chunk(snapshots[c], lo, hi);
   });
   return results;
 }

@@ -14,12 +14,21 @@
 //     through the method-of-images mirrors, packed as flat x/y arrays with a
 //     shared 9-entry weight vector [1, r, r, r, r, r^2, r^2, r^2, r^2].
 //
-// The kernel then runs two tiled passes per receiver probe: a vectorizable
-// sweep turning every source-point distance into a clamped table coordinate
-// (sqrt, min/max, one multiply — no branches, no indexed loads), and a
-// scalar accumulation pass that resolves the interpolation from a
-// precomputed base/diff lookup table and sums contributions in exactly the
-// order evaluate() uses.
+// The kernel then runs two tiled passes per receiver probe: a sweep turning
+// every source-point distance into a clamped table coordinate (sqrt,
+// min/max, one multiply — no branches, no indexed loads), and an
+// accumulation pass that resolves the interpolation from a precomputed
+// base/diff lookup table and sums contributions per source in exactly the
+// order evaluate() uses. The kernel exists twice: portable scalar reference
+// loops keep the passes separate (pass 1 auto-vectorizes; pass 2 is a
+// scalar gather), while the explicit AVX2/NEON kernels
+// (thermal/soa_kernels_*.cpp) fuse both passes into one sweep per source
+// block — the index/fraction intermediates never round-trip through memory
+// — selected at runtime via util/simd. RLPLANNER_SIMD=scalar forces the
+// reference path, and set_simd_level() overrides per snapshot for
+// differential testing. SIMD results stay within the 1e-9 C envelope of the
+// scalar path (per-source subtotals reduce lanes in a fixed tree instead of
+// left-to-right).
 //
 // Numerical contract (asserted by tests/soa_kernel_test.cpp): the
 // accumulation order is identical to evaluate()'s, so no error grows with
@@ -40,13 +49,31 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/chiplet.h"
 #include "core/floorplan.h"
 #include "thermal/fast_model.h"
+#include "util/simd.h"
 
 namespace rlplan::thermal {
+
+struct SoaKernelOps;
+
+/// Half-open candidate range [first, second) owned by lane `c` when `b`
+/// candidates split across `lanes` lanes: sizes differ by at most one, lane
+/// ranges tile [0, b) exactly, and no intermediate product can overflow
+/// (unlike the naive b * c / lanes split, which overflows std::size_t for
+/// b > SIZE_MAX / lanes). Requires lanes >= 1 and c <= lanes.
+inline std::pair<std::size_t, std::size_t> batch_lane_range(std::size_t b,
+                                                            std::size_t lanes,
+                                                            std::size_t c) {
+  const std::size_t quotient = b / lanes;
+  const std::size_t remainder = b % lanes;
+  const std::size_t lo = c * quotient + (c < remainder ? c : remainder);
+  return {lo, c < lanes ? lo + quotient + (c < remainder ? 1 : 0) : lo};
+}
 
 class SoaSnapshot {
  public:
@@ -77,6 +104,21 @@ class SoaSnapshot {
   /// refresh.
   std::size_t num_sources() const { return src_die_.size(); }
 
+  /// The SIMD level this snapshot's uniform-table kernel actually runs at.
+  /// New snapshots start at dispatch_level(); kScalar means the reference
+  /// loops (always the case for non-uniform tables, whatever this reports).
+  util::SimdLevel simd_level() const { return simd_level_; }
+
+  /// Overrides the kernel selection for this snapshot (differential tests,
+  /// forced-scalar benches). Levels whose kernels are not compiled in or not
+  /// supported by the host fall back to kScalar — never to a different SIMD
+  /// level. Returns the level actually installed.
+  util::SimdLevel set_simd_level(util::SimdLevel level);
+
+  /// Process-wide default kernel level: util::active_simd_level() with
+  /// unavailable levels collapsed to kScalar (what benches publish).
+  static util::SimdLevel dispatch_level();
+
  private:
   const FastThermalModel* model_ = nullptr;
   const ChipletSystem* system_ = nullptr;
@@ -91,6 +133,9 @@ class SoaSnapshot {
   double floor_ = 0.0;          ///< uniform rise floor (K/W)
   double ambient_c_ = 0.0;
   double img_w_[9] = {1.0};  ///< per-image weights (direct, sides, corners)
+  /// img_w_ tiled ss_ times: the flat per-point weight vector the SIMD
+  /// weighted-accumulation pass consumes (empty when images are off).
+  std::vector<double> w_flat_;
   MutualResistanceTable::View mutual_{};
   // Uniform-table interpolation LUTs, interleaved as (base, diff) pairs per
   // segment so one lookup touches one cache line: base is the value at the
@@ -119,12 +164,22 @@ class SoaSnapshot {
   mutable std::vector<int> idx_;           // truncated segment index per point
   mutable std::vector<double> frac_;       // coordinate fraction per point
   mutable std::vector<double> pair_corr_;  // per-source factor for a receiver
+  mutable std::vector<double> sub_;        // per-source pass-2 subtotals
   std::vector<Point> probes_scratch_;
   std::vector<double> shapes_scratch_;
   std::vector<Point> subs_scratch_;
 
-  /// Peak rise of receiver i via the fraction-form LUT (uniform tables).
+  // Dispatched kernels (nullptr = scalar reference path) and the level they
+  // correspond to; see soa_kernels.h.
+  const SoaKernelOps* ops_ = nullptr;
+  util::SimdLevel simd_level_ = util::SimdLevel::kScalar;
+
+  /// Peak rise of receiver i via the fraction-form LUT (uniform tables),
+  /// scalar reference loops.
   double receiver_rise_uniform(std::size_t i) const;
+  /// As receiver_rise_uniform, through the dispatched SIMD kernels (ops_).
+  /// Within 1e-9 C of the scalar path (soa_kernels.h numerical contract).
+  double receiver_rise_uniform_simd(std::size_t i) const;
   /// Peak rise of receiver i replicating evaluate()'s arithmetic exactly
   /// (fallback for non-uniform mutual tables).
   double receiver_rise_exact(std::size_t i) const;

@@ -1,0 +1,71 @@
+#include "util/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rlplan::util {
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool parse_simd_level(const char* s, SimdLevel& out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) {
+    out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    out = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(s, "neon") == 0) {
+    out = SimdLevel::kNeon;
+    return true;
+  }
+  if (std::strcmp(s, "auto") == 0) {
+    out = detected_simd_level();
+    return true;
+  }
+  return false;
+}
+
+SimdLevel detected_simd_level() {
+#if defined(__aarch64__)
+  // Advanced SIMD is part of the AArch64 base architecture.
+  return SimdLevel::kNeon;
+#elif (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")
+             ? SimdLevel::kAvx2
+             : SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level = [] {
+    if (const char* env = std::getenv("RLPLANNER_SIMD")) {
+      SimdLevel parsed;
+      if (parse_simd_level(env, parsed)) return parsed;
+      std::fprintf(stderr,
+                   "[simd] unknown RLPLANNER_SIMD=%s (want scalar/avx2/neon/"
+                   "auto); using detection\n",
+                   env);
+    }
+    return detected_simd_level();
+  }();
+  return level;
+}
+
+}  // namespace rlplan::util

@@ -48,6 +48,32 @@ TEST(NnBatch, LinearBatchEqualsSingleForwards) {
   }
 }
 
+// The register-blocked Linear forward must stay bit-identical to a naive
+// o-at-a-time reference: each output is still one accumulator summed
+// sequentially over i, so blocking only widens independent chains.
+TEST(NnBatch, TiledLinearForwardIsBitIdenticalToNaive) {
+  Rng rng(6);
+  // Output widths cover sub-block (< 4), exact multiples, and a 4k+r tail.
+  for (const std::size_t out : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                                std::size_t{7}, std::size_t{130}}) {
+    Linear layer(13, out, rng);
+    const Tensor x = random_tensor({5, 13}, rng);
+    const Tensor y = layer.forward(x);
+    const auto wd = layer.weight().value.data();
+    const auto bd = layer.bias().value.data();
+    for (std::size_t b = 0; b < 5; ++b) {
+      for (std::size_t o = 0; o < out; ++o) {
+        float acc = bd[o];
+        for (std::size_t i = 0; i < 13; ++i) {
+          acc += wd[o * 13 + i] * x.at(b, i);
+        }
+        ASSERT_EQ(y.at(b, o), acc)
+            << "out=" << out << " b=" << b << " o=" << o;
+      }
+    }
+  }
+}
+
 TEST(NnBatch, Conv2dBatchEqualsSingleForwards) {
   Rng rng(2);
   Conv2d layer(3, 4, 3, 2, 1, rng);

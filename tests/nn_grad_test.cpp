@@ -96,6 +96,57 @@ TEST(GradCheck, LinearSingleSample) {
   check_gradients(lin, Tensor({1, 7}), 101);
 }
 
+// The fused 4-output Linear backward must be bit-identical to the naive
+// o-at-a-time reference, including the g == 0 skip semantics (a zero
+// gradient leaves its rows untouched rather than adding +0.0f).
+TEST(GradCheck, TiledLinearBackwardIsBitIdenticalToNaive) {
+  Rng rng(31);
+  const std::size_t in = 9;
+  for (const std::size_t out :
+       {std::size_t{3}, std::size_t{8}, std::size_t{11}}) {
+    Linear lin(in, out, rng);
+    Tensor x({4, in});
+    Tensor g({4, out});
+    for (auto& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : g.data()) {
+      // ~25% exact zeros so all-nonzero blocks, mixed blocks, and the tail
+      // all hit the skip path somewhere.
+      v = rng.uniform() < 0.25 ? 0.0f
+                               : static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    lin.zero_grad();
+    lin.forward(x);
+    const Tensor dx = lin.backward(g);
+
+    // Naive reference: the pre-tiling loop, one output at a time.
+    Tensor ref_dw(lin.weight().value.shape());
+    Tensor ref_db(lin.bias().value.shape());
+    Tensor ref_dx(x.shape());
+    for (std::size_t b = 0; b < 4; ++b) {
+      for (std::size_t o = 0; o < out; ++o) {
+        const float gv = g.at(b, o);
+        if (gv == 0.0f) continue;
+        ref_db[o] += gv;
+        for (std::size_t i = 0; i < in; ++i) {
+          ref_dw.at(o, i) += gv * x.at(b, i);
+          ref_dx.at(b, i) += gv * lin.weight().value.at(o, i);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < ref_dw.numel(); ++i) {
+      ASSERT_EQ(lin.weight().grad[i], ref_dw[i])
+          << "out=" << out << " dw[" << i << "]";
+    }
+    for (std::size_t i = 0; i < ref_db.numel(); ++i) {
+      ASSERT_EQ(lin.bias().grad[i], ref_db[i])
+          << "out=" << out << " db[" << i << "]";
+    }
+    for (std::size_t i = 0; i < ref_dx.numel(); ++i) {
+      ASSERT_EQ(dx[i], ref_dx[i]) << "out=" << out << " dx[" << i << "]";
+    }
+  }
+}
+
 TEST(GradCheck, Conv2dStride1) {
   Rng rng(23);
   Conv2d conv(2, 3, 3, 1, 1, rng);

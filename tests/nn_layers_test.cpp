@@ -53,6 +53,48 @@ TEST(Linear, BackwardShapes) {
   EXPECT_EQ(dx.dim(1), 3u);
 }
 
+// Empty batches are legal throughout the layer stack: forward produces the
+// 0-row output shape, backward produces a 0-row input grad and accumulates
+// nothing. (PPO minibatch slicing can legitimately produce an empty tail.)
+TEST(Linear, ZeroBatchForwardBackwardAreNoOps) {
+  Rng rng(14);
+  Linear lin(3, 4, rng);
+  const Tensor y = lin.forward(Tensor({0, 3}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{0, 4}));
+  const Tensor dx = lin.backward(Tensor({0, 4}));
+  EXPECT_EQ(dx.shape(), (std::vector<std::size_t>{0, 3}));
+  for (Parameter* p : lin.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+      EXPECT_EQ(p->grad[i], 0.0f) << p->name;
+    }
+  }
+}
+
+TEST(Conv2d, ZeroBatchForwardBackwardAreNoOps) {
+  Rng rng(15);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor y = conv.forward(Tensor({0, 2, 6, 6}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{0, 3, 6, 6}));
+  const Tensor dx = conv.backward(Tensor({0, 3, 6, 6}));
+  EXPECT_EQ(dx.shape(), (std::vector<std::size_t>{0, 2, 6, 6}));
+  for (Parameter* p : conv.parameters()) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+      EXPECT_EQ(p->grad[i], 0.0f) << p->name;
+    }
+  }
+}
+
+// Regression: Flatten::forward derived the inner size as numel() / dim(0),
+// which divides by zero on an empty batch. It is now the product of the
+// non-batch dims.
+TEST(Flatten, ZeroBatchRoundTrip) {
+  Flatten flat;
+  const Tensor y = flat.forward(Tensor({0, 3, 4, 4}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{0, 48}));
+  const Tensor back = flat.backward(y);
+  EXPECT_EQ(back.shape(), (std::vector<std::size_t>{0, 3, 4, 4}));
+}
+
 TEST(Conv2d, OutputShapeStride1) {
   Rng rng(5);
   Conv2d conv(2, 4, 3, 1, 1, rng);

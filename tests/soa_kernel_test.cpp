@@ -25,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -225,6 +226,84 @@ TEST(SoaKernel, FuzzedSystemsMatchLegacyAndIncremental) {
   EXPECT_GE(cases, 1000 * scale);
 }
 
+// Second differential axis: the dispatched SIMD kernels (AVX2/NEON when the
+// host has them) against the forced-scalar reference path, over the same
+// fuzz families and every config variant. On a scalar-only host this
+// degenerates to scalar-vs-scalar and pins set_simd_level(kScalar) as the
+// identity; CI's x86 runners exercise the real AVX2 comparison (including
+// one leg under ASan/UBSan — see ci.yml's sanitizer matrix).
+TEST(SoaKernel, SimdMatchesForcedScalarAcrossFuzzedSystems) {
+  const util::SimdLevel dispatched = SoaSnapshot::dispatch_level();
+  SCOPED_TRACE(std::string("dispatched level: ") +
+               util::simd_level_name(dispatched));
+  const auto vs = variants();
+  const int scale = fuzz_scale();
+  const int systems_per_variant = 45 * scale;
+  Rng rng(0x513d51dULL);
+  for (const Variant& v : vs) {
+    const FastThermalModel model = make_model(v.config, v.correction, v.droop);
+    for (int s = 0; s < systems_per_variant; ++s) {
+      const std::uint64_t sys_seed = rng.next();
+      Rng sys_rng(sys_seed);
+      const ChipletSystem sys = random_system(sys_rng);
+      SoaSnapshot simd(model, sys);
+      SoaSnapshot scalar(model, sys);
+      ASSERT_EQ(simd.simd_level(), dispatched);  // new snapshots dispatch
+      ASSERT_EQ(scalar.set_simd_level(util::SimdLevel::kScalar),
+                util::SimdLevel::kScalar);
+      for (int f = 0; f < 3; ++f) {
+        const Floorplan fp = random_floorplan(sys, sys_rng);
+        simd.refresh(fp);
+        scalar.refresh(fp);
+        FastThermalResult rs, rv;
+        scalar.evaluate(rs);
+        simd.evaluate(rv);
+        const std::string context =
+            std::string("simd-vs-scalar variant=") + v.name + " level=" +
+            util::simd_level_name(dispatched) + " system_seed=" +
+            std::to_string(sys_seed) + " floorplan_index=" + std::to_string(f);
+        bool ok = std::abs(rv.max_temp_c - rs.max_temp_c) <= kTempTolC;
+        EXPECT_NEAR(rv.max_temp_c, rs.max_temp_c, kTempTolC) << context;
+        for (std::size_t i = 0; i < rs.chiplet_temp_c.size(); ++i) {
+          EXPECT_NEAR(rv.chiplet_temp_c[i], rs.chiplet_temp_c[i], kTempTolC)
+              << context << ": chiplet " << i;
+          ok = ok && std::abs(rv.chiplet_temp_c[i] - rs.chiplet_temp_c[i]) <=
+                         kTempTolC;
+        }
+        if (!ok) {
+          report_failure_seed(context);
+          return;  // the seed is reported; stop before flooding the log
+        }
+      }
+    }
+  }
+}
+
+// Requesting an unavailable level must collapse to kScalar — never silently
+// substitute a different SIMD flavour (a NEON request on x86 and vice versa).
+TEST(SoaKernel, UnavailableSimdLevelFallsBackToScalar) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, false);
+  const ChipletSystem sys("s", kInterposer, kInterposer,
+                          {{"a", 4.0, 4.0, 5.0}, {"b", 4.0, 4.0, 5.0}}, {});
+  SoaSnapshot snap(model, sys);
+#if defined(__aarch64__)
+  const auto foreign = util::SimdLevel::kAvx2;
+#else
+  const auto foreign = util::SimdLevel::kNeon;
+#endif
+  EXPECT_EQ(snap.set_simd_level(foreign), util::SimdLevel::kScalar);
+  EXPECT_EQ(snap.simd_level(), util::SimdLevel::kScalar);
+  // And the snapshot still evaluates correctly on the fallback.
+  Floorplan fp(sys);
+  fp.place(0, {5.0, 5.0});
+  fp.place(1, {20.0, 8.0});
+  snap.refresh(fp);
+  FastThermalResult r;
+  snap.evaluate(r);
+  const auto legacy = model.evaluate(sys, fp);
+  EXPECT_NEAR(r.max_temp_c, legacy.max_temp_c, kTempTolC);
+}
+
 // evaluate_batch must reproduce per-candidate snapshot results exactly, for
 // any thread count (chunking never changes per-candidate arithmetic), and
 // its convenience wrappers must agree with per-call evaluate().
@@ -345,6 +424,85 @@ TEST(SoaKernel, RejectsEmptyModelAndMismatchedFloorplan) {
   EXPECT_THROW(snap.refresh(Floorplan(other)), std::invalid_argument);
   const FastThermalModel no_tables;
   EXPECT_THROW(no_tables.evaluate_batch(sys, {}), std::logic_error);
+}
+
+// Regression: a 2-knot mutual table — the smallest the construction
+// contract allows — must bind and evaluate. SoaSnapshot used to compute
+// coord_cap_ from view.size - 1 before checking the size, so a degenerate
+// table would have underflowed std::size_t; the constructor now validates
+// size >= 2 first, and the minimum-size table must take the normal uniform
+// path (a single interpolation segment).
+TEST(SoaKernel, MinimumSizeMutualTableEvaluates) {
+  const std::vector<double> dims{2.0, 10.0, 22.0};
+  std::vector<std::vector<double>> self_vals(dims.size(),
+                                             std::vector<double>(dims.size()));
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      self_vals[i][j] = 2.0 / (1.0 + 0.05 * dims[i] * dims[j]);
+    }
+  }
+  for (const bool images : {true, false}) {
+    FastModelConfig config;
+    config.use_images = images;
+    FastThermalModel model(SelfResistanceTable(dims, dims, self_vals),
+                           MutualResistanceTable({0.0, 90.0}, {0.7, 0.04}),
+                           45.0, config);
+    model.set_image_params(kInterposer, kInterposer, 0.04);
+    const ChipletSystem sys("tiny-table", kInterposer, kInterposer,
+                            {{"a", 8.0, 8.0, 20.0},
+                             {"b", 6.0, 4.0, 10.0},
+                             {"c", 5.0, 5.0, 0.0}},
+                            {});
+    Floorplan fp(sys);
+    fp.place(0, {4.0, 4.0});
+    fp.place(1, {30.0, 12.0});
+    fp.place(2, {18.0, 40.0});
+
+    SoaSnapshot snapshot(model, sys);
+    snapshot.refresh(fp);
+    FastThermalResult soa;
+    snapshot.evaluate(soa);
+    const auto legacy = model.evaluate(sys, fp);
+    for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
+      EXPECT_NEAR(soa.chiplet_temp_c[i], legacy.chiplet_temp_c[i], kTempTolC)
+          << "images=" << images << " chiplet " << i;
+    }
+    EXPECT_NEAR(soa.max_temp_c, legacy.max_temp_c, kTempTolC)
+        << "images=" << images;
+  }
+}
+
+// The lane split behind evaluate_batch: for any (candidates, lanes) the
+// per-lane ranges must tile [0, b) exactly with sizes differing by at most
+// one — including counts where the old b * c / lanes form overflows
+// std::size_t.
+TEST(SoaKernel, BatchLaneRangePartitionsExactly) {
+  const auto check_partition = [](std::size_t b, std::size_t lanes) {
+    SCOPED_TRACE("b=" + std::to_string(b) + " lanes=" + std::to_string(lanes));
+    const std::size_t quotient = b / lanes;
+    const std::size_t remainder = b % lanes;
+    std::size_t prev_hi = 0;
+    for (std::size_t c = 0; c < lanes; ++c) {
+      const auto [lo, hi] = batch_lane_range(b, lanes, c);
+      EXPECT_EQ(lo, prev_hi);  // contiguous: lane c starts where c-1 ended
+      EXPECT_EQ(hi - lo, quotient + (c < remainder ? 1 : 0));
+      prev_hi = hi;
+    }
+    EXPECT_EQ(prev_hi, b);  // the last lane ends exactly at b
+  };
+  for (const auto& [b, lanes] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 1}, {0, 7}, {1, 1}, {1, 8}, {5, 3}, {7, 7}, {33, 5},
+           {64, 64}, {65, 64}, {1000, 7}, {1000, 1}}) {
+    check_partition(b, lanes);
+  }
+  // Adversarial: near-SIZE_MAX batch counts. The naive split computes
+  // b * c / lanes, which wraps for any c >= 2 here; the quotient form must
+  // still produce an exact partition.
+  const std::size_t big = std::numeric_limits<std::size_t>::max() - 3;
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{5}}) {
+    check_partition(big, lanes);
+  }
 }
 
 // The View's binary-search branch (non-uniform knots) must reproduce
