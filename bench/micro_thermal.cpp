@@ -168,9 +168,14 @@ thermal::FastThermalModel synthetic_model() {
 struct MoveRow {
   std::size_t chiplets = 0;
   double batch_evals_per_sec = 0.0;
-  double incr_evals_per_sec = 0.0;
-  double speedup = 0.0;
-  double max_abs_diff_c = 0.0;
+  double incr_evals_per_sec = 0.0;         // dispatched pair-row kernels
+  double scalar_incr_evals_per_sec = 0.0;  // forced-scalar incremental
+  double speedup = 0.0;       // dispatched incremental vs batch
+  double move_speedup = 0.0;  // dispatched vs forced-scalar incremental
+  double move_ns = 0.0;         // ns per dispatched incremental move+query
+  double scalar_move_ns = 0.0;  // ns per forced-scalar move+query
+  double max_abs_diff_c = 0.0;     // dispatched incremental vs batch
+  double max_scalar_diff_c = 0.0;  // forced-scalar incremental vs batch
 };
 
 MoveRow run_move_comparison(const thermal::FastThermalModel& model,
@@ -216,8 +221,12 @@ MoveRow run_move_comparison(const thermal::FastThermalModel& model,
     }
     row.batch_evals_per_sec = static_cast<double>(moves) / timer.seconds();
   }
-  {
+  // Both incremental tiers over the identical tape: forced scalar (the
+  // bit-exact reference) and the runtime-dispatched pair-row kernels.
+  const auto run_incremental = [&](util::SimdLevel level, double& evals_per_sec,
+                                   double& max_diff) {
     thermal::IncrementalFastModelEvaluator eval(model);
+    eval.set_simd_level(level);
     Floorplan fp = initial;
     eval.incremental_max_temperature(sys, fp);  // build the coupling cache
     eval.commit();
@@ -227,12 +236,18 @@ MoveRow run_move_comparison(const thermal::FastThermalModel& model,
       fp.place(m.die, m.pos, false);
       const double temp = eval.incremental_max_temperature(sys, fp);
       eval.commit();
-      row.max_abs_diff_c =
-          std::max(row.max_abs_diff_c, std::abs(temp - batch_temps[t++]));
+      max_diff = std::max(max_diff, std::abs(temp - batch_temps[t++]));
     }
-    row.incr_evals_per_sec = static_cast<double>(moves) / timer.seconds();
-  }
+    evals_per_sec = static_cast<double>(moves) / timer.seconds();
+  };
+  run_incremental(util::SimdLevel::kScalar, row.scalar_incr_evals_per_sec,
+                  row.max_scalar_diff_c);
+  run_incremental(thermal::IncrementalThermalState::dispatch_level(),
+                  row.incr_evals_per_sec, row.max_abs_diff_c);
   row.speedup = row.incr_evals_per_sec / row.batch_evals_per_sec;
+  row.move_speedup = row.incr_evals_per_sec / row.scalar_incr_evals_per_sec;
+  row.move_ns = 1e9 / row.incr_evals_per_sec;
+  row.scalar_move_ns = 1e9 / row.scalar_incr_evals_per_sec;
   return row;
 }
 
@@ -324,18 +339,28 @@ void write_json(const std::string& path, const std::vector<MoveRow>& rows,
      << "  \"simd\": \""
      << util::simd_level_name(thermal::SoaSnapshot::dispatch_level())
      << "\",\n"
+     // Kernel level of the incremental pair-row path (same dispatch logic;
+     // published separately so the move-speedup trend is self-describing).
+     << "  \"incr_simd\": \""
+     << util::simd_level_name(thermal::IncrementalThermalState::dispatch_level())
+     << "\",\n"
      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const MoveRow& r = rows[i];
-    char buf[512];
+    char buf[768];
     std::snprintf(buf, sizeof(buf),
                   "    {\"chiplets\": %zu, \"batch_evals_per_sec\": %.1f, "
-                  "\"incremental_evals_per_sec\": %.1f, \"speedup\": %.2f, "
-                  "\"max_abs_diff_c\": %.3e}%s\n",
+                  "\"incremental_evals_per_sec\": %.1f, "
+                  "\"scalar_incremental_evals_per_sec\": %.1f, "
+                  "\"speedup\": %.2f, \"move_speedup\": %.2f, "
+                  "\"move_ns\": %.1f, \"scalar_move_ns\": %.1f, "
+                  "\"max_abs_diff_c\": %.3e, "
+                  "\"max_scalar_diff_c\": %.3e}%s\n",
                   r.chiplets, r.batch_evals_per_sec, r.incr_evals_per_sec,
-                  r.speedup, r.max_abs_diff_c,
-                  i + 1 < rows.size() ? "," : "");
+                  r.scalar_incr_evals_per_sec, r.speedup, r.move_speedup,
+                  r.move_ns, r.scalar_move_ns, r.max_abs_diff_c,
+                  r.max_scalar_diff_c, i + 1 < rows.size() ? "," : "");
     os << buf;
   }
   os << "  ],\n  \"batch_results\": [\n";
@@ -374,16 +399,20 @@ int main(int argc, char** argv) {
 
   const thermal::FastThermalModel model = synthetic_model();
   std::printf("single-die moves, incremental vs batch (default config, %ld "
-              "moves per size)\n",
-              moves);
-  std::printf("%9s %18s %18s %9s %14s\n", "chiplets", "batch evals/s",
-              "incr evals/s", "speedup", "max |diff| C");
+              "moves per size, incr simd=%s)\n",
+              moves,
+              util::simd_level_name(
+                  thermal::IncrementalThermalState::dispatch_level()));
+  std::printf("%9s %15s %15s %15s %8s %9s %9s %12s\n", "chiplets",
+              "batch evals/s", "scalar incr/s", "simd incr/s", "vs batch",
+              "move spd", "move ns", "max |diff| C");
   std::vector<MoveRow> rows;
   for (const std::size_t n : {4u, 8u, 16u, 32u}) {
     rows.push_back(run_move_comparison(model, n, moves));
     const MoveRow& r = rows.back();
-    std::printf("%9zu %18.1f %18.1f %8.2fx %14.3e\n", r.chiplets,
-                r.batch_evals_per_sec, r.incr_evals_per_sec, r.speedup,
+    std::printf("%9zu %15.1f %15.1f %15.1f %7.2fx %8.2fx %9.0f %12.3e\n",
+                r.chiplets, r.batch_evals_per_sec, r.scalar_incr_evals_per_sec,
+                r.incr_evals_per_sec, r.speedup, r.move_speedup, r.move_ns,
                 r.max_abs_diff_c);
   }
 
@@ -412,6 +441,33 @@ int main(int argc, char** argv) {
                    "(%zu chiplets, %.3e C)\n",
                    r.chiplets, r.max_abs_diff_c);
       return 1;
+    }
+    // The forced-scalar tier's contract is bit-exactness against batch
+    // (thermal/incremental.h); any nonzero diff is a broken invariant.
+    if (r.max_scalar_diff_c != 0.0) {
+      std::fprintf(stderr,
+                   "[micro_thermal] FAIL: forced-scalar incremental not "
+                   "bit-exact vs batch (%zu chiplets, %.3e C)\n",
+                   r.chiplets, r.max_scalar_diff_c);
+      return 1;
+    }
+  }
+  // Move-speedup floor (the CI bench gate for the dispatched pair-row
+  // kernels): dispatched vs forced-scalar incremental, applied at the sizes
+  // where the kernel dominates the move cost (>= 16 dies). Only meaningful
+  // when dispatch actually selects a SIMD level — the forced-scalar CI leg
+  // must not pass this flag.
+  const double min_move_speedup =
+      rlplan::bench::flag_double(argc, argv, "min-move-speedup", 0.0);
+  if (min_move_speedup > 0.0) {
+    for (const MoveRow& r : rows) {
+      if (r.chiplets >= 16 && r.move_speedup < min_move_speedup) {
+        std::fprintf(stderr,
+                     "[micro_thermal] FAIL: incremental move speedup %.2fx at "
+                     "%zu chiplets below floor %.2fx\n",
+                     r.move_speedup, r.chiplets, min_move_speedup);
+        return 1;
+      }
     }
   }
   for (const BatchRow& r : batch_rows) {

@@ -5,8 +5,32 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "thermal/soa_kernels.h"
 
 namespace rlplan::thermal {
+
+util::SimdLevel IncrementalThermalState::dispatch_level() {
+  return soa_dispatch_level();
+}
+
+util::SimdLevel IncrementalThermalState::set_simd_level(
+    util::SimdLevel level) {
+  // Non-uniform mutual tables (hand-built; the model resamples its own at
+  // construction) have no LUT coordinate transform — they always take the
+  // exact scalar path.
+  ops_ = k_.uniform ? soa_kernel_ops(level) : nullptr;
+  simd_level_ = ops_ != nullptr ? level : util::SimdLevel::kScalar;
+  set_patched_query(ops_ != nullptr);
+  return simd_level_;
+}
+
+void IncrementalThermalState::set_patched_query(bool on) {
+  patched_query_ = on;
+  // Any materialized sums may not match the new mode's row provenance;
+  // rebuild lazily at the next query.
+  sums_valid_ = false;
+  patch_epoch_ = 0;
+}
 
 IncrementalThermalState::IncrementalThermalState(const FastThermalModel& model,
                                                  const ChipletSystem& system)
@@ -20,16 +44,130 @@ IncrementalThermalState::IncrementalThermalState(const FastThermalModel& model,
     throw std::invalid_argument(
         "IncrementalThermalState: system exceeds kMaxChiplets");
   }
-  probe_count_ = static_cast<std::size_t>(model.probe_count());
+  k_.bind(model);
+  probe_count_ = k_.pc;
   dies_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     dies_[i].power = system.chiplet(i).power;
   }
   pair_.assign(n * n * probe_count_, 0.0);
+  probe_x_.assign(n * probe_count_, 0.0);
+  probe_y_.assign(n * probe_count_, 0.0);
+  src_x_.assign(n * k_.ss * k_.img, 0.0);
+  src_y_.assign(n * k_.ss * k_.img, 0.0);
+  src_scale_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    src_scale_[i] = dies_[i].power / static_cast<double>(k_.ss);
+  }
+  mutual_sum_.assign(n * probe_count_, 0.0);
+  set_simd_level(util::active_simd_level());
+}
+
+void IncrementalThermalState::refresh_die_blocks(std::size_t i) {
+  const DieCache& die = dies_[i];
+  double* px = probe_x_.data() + i * probe_count_;
+  double* py = probe_y_.data() + i * probe_count_;
+  for (std::size_t p = 0; p < die.probes.size(); ++p) {
+    px[p] = die.probes[p].x;
+    py[p] = die.probes[p].y;
+  }
+  if (die.power <= 0.0) return;
+  const std::size_t pts = k_.ss * k_.img;
+  double* xs = src_x_.data() + i * pts;
+  double* ys = src_y_.data() + i * pts;
+  for (const Point& s : die.subs) {
+    k_.expand_source_point(s, xs, ys);
+    xs += k_.img;
+    ys += k_.img;
+  }
+}
+
+void IncrementalThermalState::compute_pair_row_kernel(std::size_t receiver,
+                                                      std::size_t source) {
+  const std::size_t pts = k_.ss * k_.img;
+  const double* px = probe_x_.data() + receiver * probe_count_;
+  const double* py = probe_y_.data() + receiver * probe_count_;
+  const double* sx = src_x_.data() + source * pts;
+  const double* sy = src_y_.data() + source * pts;
+  double* row = pair_row(receiver, source);
+  if (!k_.use_images) {
+    ops_->pair_raw(px, py, probe_count_, sx, sy, pts, k_.mutual.front,
+                   k_.mutual.back, k_.mutual.inv_step, k_.coord_cap,
+                   k_.lut_raw.data(), row);
+  } else if (k_.unit_weights) {
+    ops_->pair_unit(px, py, probe_count_, sx, sy, pts, k_.mutual.front,
+                    k_.mutual.back, k_.mutual.inv_step, k_.coord_cap,
+                    k_.lut_img.data(), row);
+  } else {
+    ops_->pair_weighted(px, py, probe_count_, sx, sy, pts, k_.mutual.front,
+                        k_.mutual.back, k_.mutual.inv_step, k_.coord_cap,
+                        k_.lut_img.data(), k_.w_flat.data(), row);
+  }
+  // Same multiply order as source_contribution(): kernel subtotal plus the
+  // per-sub-source floor, times power / ss, times the pair correction. Only
+  // the floor association and within-block lane order differ from the
+  // scalar path — the documented ulp-level envelope.
+  const double corr =
+      model_->pair_correction(dies_[source].corr, dies_[receiver].corr);
+  const double floor_per_src = static_cast<double>(k_.ss) * k_.floor;
+  const double scale = src_scale_[source];
+  for (std::size_t p = 0; p < probe_count_; ++p) {
+    double m = k_.use_images ? floor_per_src + row[p] : row[p];
+    m *= scale;
+    m *= corr;
+    row[p] = m;
+  }
+}
+
+void IncrementalThermalState::patch_source_terms(std::size_t i, double sign) {
+  // sign is exactly +-1.0: sign * row is the value or its negation bit-for-
+  // bit, so add/subtract patches are exact inverses of each other.
+  for (std::size_t j = 0; j < dies_.size(); ++j) {
+    if (j == i || !dies_[j].placement) continue;
+    const double* row = pair_row(j, i);
+    double* sum = mutual_sum_.data() + j * probe_count_;
+    for (std::size_t p = 0; p < probe_count_; ++p) {
+      sum[p] += sign * row[p];
+    }
+  }
+}
+
+void IncrementalThermalState::rebuild_receiver_sum(std::size_t i) const {
+  double* sum = mutual_sum_.data() + i * probe_count_;
+  std::fill(sum, sum + probe_count_, 0.0);
+  // Ascending source order, like receiver_peak_rise(): per probe the adds
+  // happen in the identical sequence, so the rebuilt sums are deterministic
+  // and independent of mutation history.
+  for (std::size_t j = 0; j < dies_.size(); ++j) {
+    if (j == i || !dies_[j].placement || dies_[j].power <= 0.0) continue;
+    const double* row = pair_row(i, j);
+    for (std::size_t p = 0; p < probe_count_; ++p) {
+      sum[p] += row[p];
+    }
+  }
+}
+
+void IncrementalThermalState::ensure_sums() const {
+  // Patching drifts from the fresh ascending re-summation by ~1 ulp of the
+  // sum magnitude per move; a full deterministic re-reduce on the first
+  // query and every kResumInterval patches bounds it to ~1e-13 C.
+  if (sums_valid_ && patch_epoch_ < kResumInterval) return;
+  for (std::size_t i = 0; i < dies_.size(); ++i) {
+    if (dies_[i].placement) rebuild_receiver_sum(i);
+  }
+  sums_valid_ = true;
+  patch_epoch_ = 0;
+  ++sum_resums_;
 }
 
 void IncrementalThermalState::apply_place(std::size_t i, const Placement& p) {
   DieCache& die = dies_[i];
+  // A move invalidates i's source terms inside every other placed
+  // receiver's partial sums; subtract the cached rows before they are
+  // overwritten below.
+  if (sums_active() && die.placement && die.power > 0.0) {
+    patch_source_terms(i, -1.0);
+  }
   if (!die.placement) ++num_placed_;
   die.placement = p;
   const Chiplet& chip = system_->chiplet(i);
@@ -40,40 +178,65 @@ void IncrementalThermalState::apply_place(std::size_t i, const Placement& p) {
   die.self_rise = model_->self_rise(chip, die.rect);
   die.corr = model_->center_correction(die.rect.center());
   if (die.power > 0.0) model_->source_points(die.rect, die.subs);
+  refresh_die_blocks(i);
 
-  // Refresh the couplings involving die i, in both directions.
+  // Refresh the couplings involving die i, in both directions: one
+  // kernel-row recompute per direction per placed peer (pair_updates_
+  // counts rows, never per-probe work, in both tiers).
   for (std::size_t j = 0; j < dies_.size(); ++j) {
     if (j == i || !dies_[j].placement) continue;
     const DieCache& other = dies_[j];
     if (other.power > 0.0) {
       // Source j -> receiver i.
-      const double corr = model_->pair_correction(other.corr, die.corr);
-      double* row = pair_row(i, j);
-      for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
-        row[p_idx] = model_->source_contribution(
-            std::span<const Point>(other.subs), other.power,
-            die.probes[p_idx], corr);
+      if (ops_ != nullptr) {
+        compute_pair_row_kernel(i, j);
+      } else {
+        const double corr = model_->pair_correction(other.corr, die.corr);
+        double* row = pair_row(i, j);
+        for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
+          row[p_idx] = model_->source_contribution(
+              std::span<const Point>(other.subs), other.power,
+              die.probes[p_idx], corr);
+        }
       }
       ++pair_updates_;
     }
     if (die.power > 0.0) {
       // Source i -> receiver j.
-      const double corr = model_->pair_correction(die.corr, other.corr);
-      double* row = pair_row(j, i);
-      for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
-        row[p_idx] = model_->source_contribution(
-            std::span<const Point>(die.subs), die.power, other.probes[p_idx],
-            corr);
+      if (ops_ != nullptr) {
+        compute_pair_row_kernel(j, i);
+      } else {
+        const double corr = model_->pair_correction(die.corr, other.corr);
+        double* row = pair_row(j, i);
+        for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
+          row[p_idx] = model_->source_contribution(
+              std::span<const Point>(die.subs), die.power, other.probes[p_idx],
+              corr);
+        }
       }
       ++pair_updates_;
     }
+  }
+
+  if (sums_active()) {
+    // Patch i's new source terms into the peers' sums and re-sum i's own
+    // row fresh (its receiver terms all changed anyway).
+    if (die.power > 0.0) patch_source_terms(i, 1.0);
+    rebuild_receiver_sum(i);
+    ++patch_epoch_;
+    ++sum_patches_;
   }
 }
 
 void IncrementalThermalState::apply_remove(std::size_t i) {
   if (dies_[i].placement) {
+    if (sums_active() && dies_[i].power > 0.0) patch_source_terms(i, -1.0);
     dies_[i].placement.reset();
     --num_placed_;
+    if (sums_active()) {
+      ++patch_epoch_;
+      ++sum_patches_;
+    }
   }
   // Cached couplings and geometry stay behind: they are only read for placed
   // dies, and re-placing i recomputes them.
@@ -99,6 +262,9 @@ void IncrementalThermalState::place(std::size_t i, const Placement& p) {
     entry.saved_rows.insert(entry.saved_rows.end(), ij, ij + probe_count_);
     entry.saved_rows.insert(entry.saved_rows.end(), ji, ji + probe_count_);
   }
+  entry.sums_were_valid = sums_active();
+  entry.prev_patch_epoch = patch_epoch_;
+  if (entry.sums_were_valid) entry.prev_sums = mutual_sum_;
   journal_.push_back(std::move(entry));
   apply_place(i, p);
 }
@@ -113,6 +279,9 @@ void IncrementalThermalState::remove(std::size_t i) {
   JournalEntry entry;
   entry.die = i;
   entry.prev_cache = dies_[i];
+  entry.sums_were_valid = sums_active();
+  entry.prev_patch_epoch = patch_epoch_;
+  if (entry.sums_were_valid) entry.prev_sums = mutual_sum_;
   journal_.push_back(std::move(entry));
   apply_remove(i);
 }
@@ -156,6 +325,19 @@ void IncrementalThermalState::undo() {
       std::copy(saved, saved + probe_count_, pair_row(j, entry.die));
       saved += probe_count_;
     }
+    // The SoA blocks mirror the DieCache; blocks of unplaced dies are never
+    // read, so restoring them can wait for a future re-place.
+    if (dies_[entry.die].placement) refresh_die_blocks(entry.die);
+    // Partial sums restore verbatim (bit-exact rollback); the oldest entry
+    // wins, which is the state right before the whole transaction.
+    if (entry.sums_were_valid) {
+      mutual_sum_ = std::move(entry.prev_sums);
+      patch_epoch_ = entry.prev_patch_epoch;
+      sums_valid_ = true;
+    } else {
+      sums_valid_ = false;
+      patch_epoch_ = 0;
+    }
   }
 }
 
@@ -175,8 +357,28 @@ double IncrementalThermalState::receiver_peak_rise(std::size_t i) const {
   return worst;
 }
 
+double IncrementalThermalState::receiver_peak_rise_cached(
+    std::size_t i) const {
+  const DieCache& die = dies_[i];
+  const double* sum = mutual_sum_.data() + i * probe_count_;
+  double worst = 0.0;
+  for (std::size_t p_idx = 0; p_idx < probe_count_; ++p_idx) {
+    worst = std::max(worst, die.self_rise * die.shapes[p_idx] + sum[p_idx]);
+  }
+  return worst;
+}
+
 double IncrementalThermalState::max_temperature_c() const {
   double max_temp = model_->ambient_c();
+  if (patched_query_) {
+    ensure_sums();
+    for (std::size_t i = 0; i < dies_.size(); ++i) {
+      if (!dies_[i].placement) continue;
+      max_temp = std::max(
+          max_temp, model_->ambient_c() + receiver_peak_rise_cached(i));
+    }
+    return max_temp;
+  }
   for (std::size_t i = 0; i < dies_.size(); ++i) {
     if (!dies_[i].placement) continue;
     max_temp =
@@ -187,15 +389,21 @@ double IncrementalThermalState::max_temperature_c() const {
 
 double IncrementalThermalState::chiplet_temperature_c(std::size_t i) const {
   if (!dies_.at(i).placement) return model_->ambient_c();
+  if (patched_query_) {
+    ensure_sums();
+    return model_->ambient_c() + receiver_peak_rise_cached(i);
+  }
   return model_->ambient_c() + receiver_peak_rise(i);
 }
 
 void IncrementalThermalState::temperatures(std::vector<double>& out) const {
   out.assign(dies_.size(), model_->ambient_c());
+  if (patched_query_) ensure_sums();
   for (std::size_t i = 0; i < dies_.size(); ++i) {
-    if (dies_[i].placement) {
-      out[i] = model_->ambient_c() + receiver_peak_rise(i);
-    }
+    if (!dies_[i].placement) continue;
+    out[i] = model_->ambient_c() + (patched_query_
+                                        ? receiver_peak_rise_cached(i)
+                                        : receiver_peak_rise(i));
   }
 }
 
@@ -223,10 +431,16 @@ bool IncrementalFastModelEvaluator::ensure_session(
   const double fp = fingerprint(system);
   if (!state_ || session_system_ != &system || session_fingerprint_ != fp) {
     state_.emplace(model_, system);
+    if (forced_level_) state_->set_simd_level(*forced_level_);
     session_system_ = &system;
     session_fingerprint_ = fp;
   }
   return true;
+}
+
+void IncrementalFastModelEvaluator::set_simd_level(util::SimdLevel level) {
+  forced_level_ = level;
+  if (state_) state_->set_simd_level(level);
 }
 
 void IncrementalFastModelEvaluator::notify_reset(const ChipletSystem& system) {
@@ -270,14 +484,20 @@ double IncrementalFastModelEvaluator::incremental_max_temperature(
   RLPLAN_COUNTER_INC("thermal.incremental.queries");
   state_->sync(floorplan);
   if (obs::metrics_enabled()) {
-    // Cache effectiveness: rows actually recomputed since the last query vs
-    // n per query for a full rebuild.
+    // Cache effectiveness: coupling ROWS actually recomputed since the last
+    // query (kernel-row granularity in both tiers) vs n per query for a
+    // full rebuild, plus partial-sum patches on the dispatched query path.
     const long updates = state_->pair_updates();
-    // A session rebuild resets the state's counter; restart the baseline.
+    // A session rebuild resets the state's counters; restart the baselines.
     RLPLAN_COUNTER_ADD(
         "thermal.incremental.pair_updates",
         updates >= last_pair_updates_ ? updates - last_pair_updates_ : updates);
     last_pair_updates_ = updates;
+    const long patches = state_->sum_patches();
+    RLPLAN_COUNTER_ADD(
+        "thermal.incremental.sum_patches",
+        patches >= last_sum_patches_ ? patches - last_sum_patches_ : patches);
+    last_sum_patches_ = patches;
   }
   ++count_;
   ++incremental_queries_;

@@ -11,11 +11,27 @@
 // IncrementalThermalState caches exactly those terms: a dense pairwise
 // coupling table pair[receiver][source][probe] plus per-die self terms and
 // probe/sub-source geometry. Placing (or moving) one die recomputes only the
-// O(n) couplings involving that die; removing a die or undoing a rejected SA
-// move costs no kernel work at all. A temperature query sums cached
-// couplings in the same source order as the batch evaluator, so incremental
-// and batch results agree exactly (each summed double is the very value
-// evaluate() would have produced).
+// O(n) coupling rows involving that die; removing a die or undoing a
+// rejected SA move costs no kernel work at all.
+//
+// Two execution tiers, mirroring the batch SoA kernels (soa_kernels.h):
+//
+//  * Forced scalar (RLPLANNER_SIMD=scalar, unsupported hosts, or
+//    set_simd_level(kScalar)): coupling rows come from the model's own
+//    source_contribution() and a query re-sums the cached rows in the batch
+//    evaluator's source order — incremental and batch results are BIT-EXACT
+//    (each summed double is the very value evaluate() would produce).
+//  * Dispatched (AVX2/NEON): rows come from the fused pair-row kernels fed
+//    by persistent SoA per-die blocks (probe points and image-expanded
+//    sub-source coordinates, bound once and refreshed in place per move),
+//    and the max-temperature query is itself incremental — per-die row
+//    partial sums are patched in place per move (subtract the old source
+//    terms, add the new ones, re-sum only the moved die's own row) with
+//    journaled snapshots so commit/rollback restores them bit-exactly, and
+//    a deterministic full re-reduction every kResumInterval patches bounds
+//    accumulation drift at the ulp level. Results stay within the repo-wide
+//    1e-9 C envelope of the forced-scalar path, identical for every run and
+//    thread count.
 //
 // IncrementalFastModelEvaluator adapts the state to the ThermalEvaluator
 // incremental protocol (notify_place / notify_remove / commit / rollback)
@@ -33,8 +49,12 @@
 #include "core/floorplan.h"
 #include "thermal/evaluator.h"
 #include "thermal/fast_model.h"
+#include "thermal/soa_snapshot.h"
+#include "util/simd.h"
 
 namespace rlplan::thermal {
+
+struct SoaKernelOps;
 
 class IncrementalThermalState {
  public:
@@ -42,6 +62,11 @@ class IncrementalThermalState {
   /// callers should prefer batch evaluation (IncrementalFastModelEvaluator
   /// falls back automatically).
   static constexpr std::size_t kMaxChiplets = 256;
+
+  /// Patched partial sums accumulate one rounding step per move; a full
+  /// deterministic re-reduction every this many patches keeps the drift at
+  /// ~64 ulp of the sum magnitude (~1e-13 C), far inside the 1e-9 envelope.
+  static constexpr int kResumInterval = 64;
 
   /// `model` and `system` must outlive the state. Starts with an empty
   /// placement. Throws std::invalid_argument when the system exceeds
@@ -59,9 +84,9 @@ class IncrementalThermalState {
   }
 
   /// Places chiplet `i` (or moves it when already placed): recomputes the
-  /// O(n * probes^2 * subsources^2) couplings involving i. Journaled: a move
-  /// additionally snapshots the overwritten couplings so undo() can restore
-  /// them without kernel work.
+  /// O(n) coupling rows involving i. Journaled: a move additionally
+  /// snapshots the overwritten couplings (and, in patched-query mode, the
+  /// partial-sum array) so undo() can restore them without kernel work.
   void place(std::size_t i, const Placement& p);
   /// Unplaces chiplet `i` (no kernel work). Journaled; no-op when unplaced.
   void remove(std::size_t i);
@@ -75,21 +100,56 @@ class IncrementalThermalState {
   void commit() { journal_.clear(); }
   /// Reverts all mutations since the last commit(), newest first, by
   /// restoring journaled snapshots — no kernel evaluations (the SA reject
-  /// path costs pure memory copies).
+  /// path costs pure memory copies). Partial sums are restored verbatim, so
+  /// rollback is bit-exact in every mode.
   void undo();
 
-  /// Peak temperature over placed dies (ambient when none placed), equal to
-  /// FastThermalModel::evaluate(...).max_temp_c on the synced placement.
+  /// Peak temperature over placed dies (ambient when none placed). Equal to
+  /// FastThermalModel::evaluate(...).max_temp_c on the synced placement in
+  /// forced-scalar mode; within 1e-9 C of it when dispatched.
   double max_temperature_c() const;
   /// Temperature of one chiplet (ambient when unplaced) — one row of the
-  /// batch result.
+  /// batch result, under the same mode contract as max_temperature_c().
   double chiplet_temperature_c(std::size_t i) const;
   /// All chiplet temperatures, indexed like the system.
   void temperatures(std::vector<double>& out) const;
 
-  /// Directed pair couplings recomputed so far (perf accounting: a batch
-  /// evaluation costs n*(n-1) of these, a single-die move costs 2*(n-1)).
+  /// Directed pair coupling ROWS recomputed so far — one unit per
+  /// (receiver, source) kernel-row recompute regardless of kernel tier or
+  /// probe count (perf accounting: a batch evaluation costs n*(n-1) of
+  /// these, a single-die move costs 2*(n-1)).
   long pair_updates() const { return pair_updates_; }
+  /// Patched-sum mutations applied (patched-query mode only).
+  long sum_patches() const { return sum_patches_; }
+  /// Full deterministic re-reductions of the partial sums (first query plus
+  /// one per kResumInterval patches).
+  long sum_resums() const { return sum_resums_; }
+
+  /// The SIMD level the pair-row kernels actually run at. New states start
+  /// at dispatch_level(); kScalar means the exact source_contribution()
+  /// path.
+  util::SimdLevel simd_level() const { return simd_level_; }
+
+  /// Overrides the kernel selection (differential tests, forced-scalar
+  /// benches). Levels whose kernels are not compiled in or not supported by
+  /// the host fall back to kScalar — never to a different SIMD level. Also
+  /// resets the query mode to the level's default (patched iff kernels are
+  /// installed); call set_patched_query() after to override. Returns the
+  /// level actually installed.
+  util::SimdLevel set_simd_level(util::SimdLevel level);
+
+  /// Process-wide default kernel level (util::active_simd_level() with
+  /// unavailable levels collapsed to kScalar — what benches publish).
+  static util::SimdLevel dispatch_level();
+
+  /// Whether queries answer from the journaled partial sums (default when
+  /// kernels are dispatched) instead of a full ascending re-summation (the
+  /// bit-exact default for forced scalar).
+  bool patched_query() const { return patched_query_; }
+  /// Overrides the query mode — primarily so tests can exercise the
+  /// journaled-sum machinery under scalar kernels (it is numerically
+  /// independent of the kernel tier).
+  void set_patched_query(bool on);
 
  private:
   struct DieCache {
@@ -111,6 +171,12 @@ class IncrementalThermalState {
     // Empty for removes and first-time places (their undo needs no rows).
     std::vector<std::size_t> peers;
     std::vector<double> saved_rows;
+    // Patched-query mode: verbatim snapshot of the partial-sum array before
+    // the mutation (empty when sums were not materialized), restored on undo
+    // so rollback is bit-exact by construction.
+    std::vector<double> prev_sums;
+    bool sums_were_valid = false;
+    int prev_patch_epoch = 0;
   };
 
   // Mutation primitives without journaling.
@@ -124,10 +190,31 @@ class IncrementalThermalState {
     return pair_.data() + (receiver * dies_.size() + source) * probe_count_;
   }
 
+  /// Refreshes die i's persistent SoA blocks (flat probe coordinates and
+  /// image-expanded sub-source coordinates) from its DieCache. Cheap —
+  /// O(probes + ss * img) stores, no kernel math.
+  void refresh_die_blocks(std::size_t i);
+  /// Computes pair_row(receiver, source) through the dispatched pair-row
+  /// kernel from the persistent SoA blocks; matches source_contribution()'s
+  /// multiply order, within the documented ulp envelope of it.
+  void compute_pair_row_kernel(std::size_t receiver, std::size_t source);
+
   /// Peak rise of placed receiver `i`: max over probes of self * shape plus
   /// cached couplings summed in source-index order (matching the batch
   /// evaluator's accumulation order exactly).
   double receiver_peak_rise(std::size_t i) const;
+  /// Peak rise of placed receiver `i` from the materialized partial sums.
+  double receiver_peak_rise_cached(std::size_t i) const;
+
+  bool sums_active() const { return patched_query_ && sums_valid_; }
+  /// Adds (sign +1) or subtracts (sign -1) die i's cached source rows
+  /// from every other placed receiver's partial sums.
+  void patch_source_terms(std::size_t i, double sign);
+  /// Fresh ascending re-summation of receiver i's own partial sums.
+  void rebuild_receiver_sum(std::size_t i) const;
+  /// Materializes (or periodically re-reduces) the partial sums at query
+  /// time; deterministic — depends only on the cached rows.
+  void ensure_sums() const;
 
   const FastThermalModel* model_ = nullptr;
   const ChipletSystem* system_ = nullptr;
@@ -140,6 +227,30 @@ class IncrementalThermalState {
   std::vector<double> pair_;
   std::vector<JournalEntry> journal_;
   long pair_updates_ = 0;
+  long sum_patches_ = 0;
+  mutable long sum_resums_ = 0;
+
+  // Shared bind-time kernel constants plus the persistent SoA per-die blocks
+  // feeding the pair-row kernels (refreshed in place per move; only read for
+  // placed dies).
+  SoaModelConsts k_{};
+  std::vector<double> probe_x_;   // n * probe_count_
+  std::vector<double> probe_y_;   // n * probe_count_
+  std::vector<double> src_x_;     // n * ss * img
+  std::vector<double> src_y_;     // n * ss * img
+  std::vector<double> src_scale_; // n: power / ss (fixed per system)
+
+  // Dispatched pair-row kernels (nullptr = exact scalar path) and level.
+  const SoaKernelOps* ops_ = nullptr;
+  util::SimdLevel simd_level_ = util::SimdLevel::kScalar;
+
+  // Journaled per-die row partial sums: mutual_sum_[i * probe_count_ + p] is
+  // the mutual term of receiver i at probe p, valid for placed dies while
+  // sums_valid_. Mutable because queries materialize/re-reduce lazily.
+  bool patched_query_ = false;
+  mutable std::vector<double> mutual_sum_;  // n * probe_count_
+  mutable bool sums_valid_ = false;
+  mutable int patch_epoch_ = 0;  ///< patches since the last full re-reduce
 };
 
 /// Fast-model evaluator with the incremental protocol: behaves exactly like
@@ -174,9 +285,11 @@ class IncrementalFastModelEvaluator final : public ThermalEvaluator {
   std::string name() const override { return "fast-model-incremental"; }
 
   /// Deep copy with fresh (empty) incremental state — what VecEnv clones for
-  /// each replica.
+  /// each replica. A pinned SIMD level carries over.
   std::unique_ptr<ThermalEvaluator> clone() const override {
-    return std::make_unique<IncrementalFastModelEvaluator>(model_);
+    auto copy = std::make_unique<IncrementalFastModelEvaluator>(model_);
+    copy->forced_level_ = forced_level_;
+    return copy;
   }
 
   bool supports_incremental() const override { return true; }
@@ -198,6 +311,11 @@ class IncrementalFastModelEvaluator final : public ThermalEvaluator {
     return state_ ? &*state_ : nullptr;
   }
 
+  /// Pins the pair-row kernel level for this evaluator's states, current
+  /// and future sessions (forced-scalar benches and differential tests;
+  /// per-instance, unlike the process-wide RLPLANNER_SIMD override).
+  void set_simd_level(util::SimdLevel level);
+
  private:
   /// (Re)binds the session to `system`, detecting both pointer changes and a
   /// different system recycled at the same address.
@@ -206,12 +324,14 @@ class IncrementalFastModelEvaluator final : public ThermalEvaluator {
 
   FastThermalModel model_;
   std::optional<IncrementalThermalState> state_;
+  std::optional<util::SimdLevel> forced_level_;
   const ChipletSystem* session_system_ = nullptr;
   double session_fingerprint_ = 0.0;
   long count_ = 0;
   long incremental_queries_ = 0;
   long full_evals_ = 0;
   long last_pair_updates_ = 0;  ///< obs cache-effectiveness delta baseline
+  long last_sum_patches_ = 0;   ///< obs delta baseline for sum patches
 };
 
 }  // namespace rlplan::thermal

@@ -68,6 +68,33 @@ struct SoaKernelOps {
                     double front, double back, double inv_step, double cap,
                     const double* lut, std::size_t pts_per_src,
                     std::size_t n_src, double* subtotal);
+
+  // Pair-row forms: one (receiver, source) coupling row — the transpose of
+  // the sweep forms (one source block against MANY probes instead of one
+  // probe against many source blocks). For every p in [0, n_probes), out[p]
+  // accumulates over the single `pts`-point block in sx/sy, with the same
+  // per-point math and the same fixed-tree block reduction as the sweeps —
+  // out[p] is bit-identical to the subtotal the matching sweep form produces
+  // for that (probe, block). One indirect call covers the whole row, which
+  // is the granularity the incremental single-move path recomputes at.
+
+  /// Images with unit weights: out[p] = sum of max(v, 0) over the block.
+  void (*pair_unit)(const double* px, const double* py, std::size_t n_probes,
+                    const double* sx, const double* sy, std::size_t pts,
+                    double front, double back, double inv_step, double cap,
+                    const double* lut, double* out);
+  /// Images with per-point weights (w holds `pts` entries): out[p] = sum of
+  /// w[k]*max(v, 0) over the block.
+  void (*pair_weighted)(const double* px, const double* py,
+                        std::size_t n_probes, const double* sx,
+                        const double* sy, std::size_t pts, double front,
+                        double back, double inv_step, double cap,
+                        const double* lut, const double* w, double* out);
+  /// No images: out[p] = sum of v over the block.
+  void (*pair_raw)(const double* px, const double* py, std::size_t n_probes,
+                   const double* sx, const double* sy, std::size_t pts,
+                   double front, double back, double inv_step, double cap,
+                   const double* lut, double* out);
 };
 
 /// Ops for `level`, or nullptr when the level is kScalar or its kernels are

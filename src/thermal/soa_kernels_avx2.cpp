@@ -186,8 +186,44 @@ void sweep_raw_avx2(const double* sx, const double* sy, double px, double py,
   }
 }
 
-constexpr SoaKernelOps kAvx2Ops{sweep_unit_avx2, sweep_weighted_avx2,
-                                sweep_raw_avx2};
+// Pair-row drivers: the transpose of the sweeps — hoist fresh probe
+// constants per row entry and run the shared block kernels over the one
+// source block, so out[p] is bit-identical to the sweep subtotal for the
+// same (probe, block).
+void pair_unit_avx2(const double* px, const double* py, std::size_t n_probes,
+                    const double* sx, const double* sy, std::size_t pts,
+                    double front, double back, double inv_step, double cap,
+                    const double* lut, double* out) {
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    const SweepConsts c = make_consts(px[p], py[p], front, back, inv_step, cap);
+    out[p] = block_unit(sx, sy, c, lut, pts);
+  }
+}
+
+void pair_weighted_avx2(const double* px, const double* py,
+                        std::size_t n_probes, const double* sx,
+                        const double* sy, std::size_t pts, double front,
+                        double back, double inv_step, double cap,
+                        const double* lut, const double* w, double* out) {
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    const SweepConsts c = make_consts(px[p], py[p], front, back, inv_step, cap);
+    out[p] = block_weighted(sx, sy, c, lut, w, pts);
+  }
+}
+
+void pair_raw_avx2(const double* px, const double* py, std::size_t n_probes,
+                   const double* sx, const double* sy, std::size_t pts,
+                   double front, double back, double inv_step, double cap,
+                   const double* lut, double* out) {
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    const SweepConsts c = make_consts(px[p], py[p], front, back, inv_step, cap);
+    out[p] = block_raw(sx, sy, c, lut, pts);
+  }
+}
+
+constexpr SoaKernelOps kAvx2Ops{sweep_unit_avx2,   sweep_weighted_avx2,
+                                sweep_raw_avx2,    pair_unit_avx2,
+                                pair_weighted_avx2, pair_raw_avx2};
 
 }  // namespace
 

@@ -166,8 +166,42 @@ void sweep_raw_neon(const double* sx, const double* sy, double px, double py,
   }
 }
 
-constexpr SoaKernelOps kNeonOps{sweep_unit_neon, sweep_weighted_neon,
-                                sweep_raw_neon};
+// Pair-row drivers: the transpose of the sweeps — fresh probe constants per
+// row entry, shared block kernels over the one source block.
+void pair_unit_neon(const double* px, const double* py, std::size_t n_probes,
+                    const double* sx, const double* sy, std::size_t pts,
+                    double front, double back, double inv_step, double cap,
+                    const double* lut, double* out) {
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    const SweepConsts c = make_consts(px[p], py[p], front, back, inv_step, cap);
+    out[p] = block_unit(sx, sy, c, lut, pts);
+  }
+}
+
+void pair_weighted_neon(const double* px, const double* py,
+                        std::size_t n_probes, const double* sx,
+                        const double* sy, std::size_t pts, double front,
+                        double back, double inv_step, double cap,
+                        const double* lut, const double* w, double* out) {
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    const SweepConsts c = make_consts(px[p], py[p], front, back, inv_step, cap);
+    out[p] = block_weighted(sx, sy, c, lut, w, pts);
+  }
+}
+
+void pair_raw_neon(const double* px, const double* py, std::size_t n_probes,
+                   const double* sx, const double* sy, std::size_t pts,
+                   double front, double back, double inv_step, double cap,
+                   const double* lut, double* out) {
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    const SweepConsts c = make_consts(px[p], py[p], front, back, inv_step, cap);
+    out[p] = block_raw(sx, sy, c, lut, pts);
+  }
+}
+
+constexpr SoaKernelOps kNeonOps{sweep_unit_neon,   sweep_weighted_neon,
+                                sweep_raw_neon,    pair_unit_neon,
+                                pair_weighted_neon, pair_raw_neon};
 
 }  // namespace
 

@@ -12,6 +12,86 @@
 
 namespace rlplan::thermal {
 
+void SoaModelConsts::bind(const FastThermalModel& model) {
+  if (model.empty()) {
+    throw std::invalid_argument("SoaModelConsts: model has no tables");
+  }
+  pc = static_cast<std::size_t>(model.probe_count());
+  const auto sub = static_cast<std::size_t>(model.config().source_subsamples);
+  ss = sub * sub;
+  use_images = model.config().use_images;
+  img = use_images ? 9 : 1;
+  const double r = model.config().image_reflectivity;
+  // Weight per image point, in the exact accumulation order of
+  // FastThermalModel::image_kernel(): direct, 4 side mirrors, 4 corner
+  // double-mirrors. r * r is precomputed because image_kernel's corner term
+  // evaluates (reflectivity * reflectivity) first — same double either way.
+  const double w9[9] = {1.0, r, r, r, r, r * r, r * r, r * r, r * r};
+  std::copy(w9, w9 + 9, img_w);
+  // Unit image weights (reflectivity 1.0, the adiabatic-rim default) let the
+  // kernels take a multiply-free accumulation; w * decay with w == 1.0 is
+  // the identity, so both variants produce the same doubles.
+  unit_weights = use_images && img_w[1] == 1.0;
+  correct_pairs =
+      model.config().correct_mutual && model.has_position_correction();
+  floor = model.uniform_floor();
+  ambient_c = model.ambient_c();
+  pkg_w = model.package_w_mm();
+  pkg_h = model.package_h_mm();
+  mutual = model.mutual_table().view();
+  // MutualResistanceTable's own constructor enforces >= 2 knots, but the
+  // cap/LUT math below underflows std::size_t (0 entries) or degenerates
+  // (1 entry) if a malformed table ever slips through another path —
+  // validate here, before any size - 1 arithmetic.
+  if (mutual.size < 2) {
+    throw std::invalid_argument(
+        "SoaModelConsts: mutual table needs >= 2 knots, got " +
+        std::to_string(mutual.size));
+  }
+  uniform = mutual.inv_step > 0.0;
+  lut_img.assign(2 * mutual.size, 0.0);
+  lut_raw.assign(2 * mutual.size, 0.0);
+  for (std::size_t i = 0; i < mutual.size; ++i) {
+    const double diff =
+        i + 1 < mutual.size ? mutual.values[i + 1] - mutual.values[i] : 0.0;
+    lut_raw[2 * i] = mutual.values[i];
+    lut_raw[2 * i + 1] = diff;
+    lut_img[2 * i] = mutual.values[i] - floor;
+    lut_img[2 * i + 1] = diff;
+  }
+  // Coordinates are capped in the double domain (instead of clamping the
+  // integer index) so the coordinate pass stays branch-free: the cap is the
+  // largest double below nk-1, making trunc() land on the last segment with
+  // a fraction of ~1 — the same interpolated value to within an ulp.
+  coord_cap = std::nextafter(static_cast<double>(mutual.size - 1), 0.0);
+  w_flat.clear();
+  if (use_images) {
+    w_flat.resize(ss * 9);
+    for (std::size_t s = 0; s < ss; ++s) {
+      std::copy(img_w, img_w + 9, w_flat.data() + s * 9);
+    }
+  }
+}
+
+void SoaModelConsts::expand_source_point(const Point& s, double* xs,
+                                         double* ys) const {
+  if (!use_images) {
+    xs[0] = s.x;
+    ys[0] = s.y;
+    return;
+  }
+  // Mirror coordinates in image_kernel's emission order; the expressions
+  // match image_kernel's mx/my arrays bit-for-bit.
+  const double mx0 = -s.x;
+  const double mx1 = 2.0 * pkg_w - s.x;
+  const double my0 = -s.y;
+  const double my1 = 2.0 * pkg_h - s.y;
+  const double exp_x[9] = {s.x, mx0, mx1, s.x, s.x, mx0, mx0, mx1, mx1};
+  const double exp_y[9] = {s.y, s.y, s.y, my0, my1, my0, my1, my0, my1};
+  std::copy(exp_x, exp_x + 9, xs);
+  std::copy(exp_y, exp_y + 9, ys);
+}
+
 util::SimdLevel SoaSnapshot::dispatch_level() { return soa_dispatch_level(); }
 
 util::SimdLevel SoaSnapshot::set_simd_level(util::SimdLevel level) {
@@ -23,71 +103,22 @@ util::SimdLevel SoaSnapshot::set_simd_level(util::SimdLevel level) {
 SoaSnapshot::SoaSnapshot(const FastThermalModel& model,
                          const ChipletSystem& system)
     : model_(&model), system_(&system) {
-  if (model.empty()) {
-    throw std::invalid_argument("SoaSnapshot: model has no tables");
-  }
+  k_.bind(model);
   n_ = system.num_chiplets();
-  pc_ = static_cast<std::size_t>(model.probe_count());
-  const auto sub = static_cast<std::size_t>(model.config().source_subsamples);
-  ss_ = sub * sub;
-  use_images_ = model.config().use_images;
-  img_ = use_images_ ? 9 : 1;
-  const double r = model.config().image_reflectivity;
-  // Weight per image point, in the exact accumulation order of
-  // FastThermalModel::image_kernel(): direct, 4 side mirrors, 4 corner
-  // double-mirrors. r * r is precomputed because image_kernel's corner term
-  // evaluates (reflectivity * reflectivity) first — same double either way.
-  const double w9[9] = {1.0, r, r, r, r, r * r, r * r, r * r, r * r};
-  std::copy(w9, w9 + 9, img_w_);
-  correct_pairs_ =
-      model.config().correct_mutual && model.has_position_correction();
-  floor_ = model.uniform_floor();
-  ambient_c_ = model.ambient_c();
-  mutual_ = model.mutual_table().view();
-  // MutualResistanceTable's own constructor enforces >= 2 knots, but the
-  // cap/LUT math below underflows std::size_t (0 entries) or degenerates
-  // (1 entry) if a malformed table ever slips through another path —
-  // validate here, before any size - 1 arithmetic.
-  if (mutual_.size < 2) {
-    throw std::invalid_argument(
-        "SoaSnapshot: mutual table needs >= 2 knots, got " +
-        std::to_string(mutual_.size));
-  }
-  lut_img_.assign(2 * mutual_.size, 0.0);
-  lut_raw_.assign(2 * mutual_.size, 0.0);
-  for (std::size_t i = 0; i < mutual_.size; ++i) {
-    const double diff =
-        i + 1 < mutual_.size ? mutual_.values[i + 1] - mutual_.values[i] : 0.0;
-    lut_raw_[2 * i] = mutual_.values[i];
-    lut_raw_[2 * i + 1] = diff;
-    lut_img_[2 * i] = mutual_.values[i] - floor_;
-    lut_img_[2 * i + 1] = diff;
-  }
-  // Coordinates are capped in the double domain (instead of clamping the
-  // integer index) so pass 1b stays branch-free: the cap is the largest
-  // double below nk-1, making trunc() land on the last segment with a
-  // fraction of ~1 — the same interpolated value to within an ulp.
-  coord_cap_ = std::nextafter(static_cast<double>(mutual_.size - 1), 0.0);
-  if (use_images_) {
-    w_flat_.resize(ss_ * 9);
-    for (std::size_t s = 0; s < ss_; ++s) {
-      std::copy(img_w_, img_w_ + 9, w_flat_.data() + s * 9);
-    }
-  }
   set_simd_level(util::active_simd_level());
 
   placed_.assign(n_, 0);
   self_rise_.assign(n_, 0.0);
   corr_.assign(n_, 1.0);
-  probe_x_.assign(n_ * pc_, 0.0);
-  probe_y_.assign(n_ * pc_, 0.0);
-  shape_.assign(n_ * pc_, 0.0);
+  probe_x_.assign(n_ * k_.pc, 0.0);
+  probe_y_.assign(n_ * k_.pc, 0.0);
+  shape_.assign(n_ * k_.pc, 0.0);
   src_die_.reserve(n_);
   src_scale_.reserve(n_);
   src_corr_.reserve(n_);
-  src_x_.reserve(n_ * ss_ * img_);
-  src_y_.reserve(n_ * ss_ * img_);
-  coord_.reserve(n_ * ss_ * img_);
+  src_x_.reserve(n_ * k_.ss * k_.img);
+  src_y_.reserve(n_ * k_.ss * k_.img);
+  coord_.reserve(n_ * k_.ss * k_.img);
   pair_corr_.reserve(n_);
 }
 
@@ -100,8 +131,7 @@ void SoaSnapshot::refresh(const Floorplan& floorplan) {
     throw std::invalid_argument(
         "SoaSnapshot: floorplan/system size mismatch");
   }
-  const double pkg_w = model_->package_w_mm();
-  const double pkg_h = model_->package_h_mm();
+  const std::size_t pc = k_.pc;
   src_die_.clear();
   src_scale_.clear();
   src_corr_.clear();
@@ -114,10 +144,10 @@ void SoaSnapshot::refresh(const Floorplan& floorplan) {
     // The per-die scalar terms go through the model's own building blocks,
     // so they are the very doubles evaluate() computes.
     model_->receiver_probes(rect, probes_scratch_, shapes_scratch_);
-    for (std::size_t p = 0; p < pc_; ++p) {
-      probe_x_[i * pc_ + p] = probes_scratch_[p].x;
-      probe_y_[i * pc_ + p] = probes_scratch_[p].y;
-      shape_[i * pc_ + p] = shapes_scratch_[p];
+    for (std::size_t p = 0; p < pc; ++p) {
+      probe_x_[i * pc + p] = probes_scratch_[p].x;
+      probe_y_[i * pc + p] = probes_scratch_[p].y;
+      shape_[i * pc + p] = shapes_scratch_[p];
     }
     self_rise_[i] = model_->self_rise(system_->chiplet(i), rect);
     corr_[i] = model_->center_correction(rect.center());
@@ -125,54 +155,47 @@ void SoaSnapshot::refresh(const Floorplan& floorplan) {
     const double power = system_->chiplet(i).power;
     if (power <= 0.0) continue;
     src_die_.push_back(i);
-    src_scale_.push_back(power / static_cast<double>(ss_));
+    src_scale_.push_back(power / static_cast<double>(k_.ss));
     src_corr_.push_back(corr_[i]);
     model_->source_points(rect, subs_scratch_);
+    const std::size_t base = src_x_.size();
+    src_x_.resize(base + subs_scratch_.size() * k_.img);
+    src_y_.resize(base + subs_scratch_.size() * k_.img);
+    double* xs = src_x_.data() + base;
+    double* ys = src_y_.data() + base;
     for (const Point& s : subs_scratch_) {
-      if (!use_images_) {
-        src_x_.push_back(s.x);
-        src_y_.push_back(s.y);
-        continue;
-      }
-      // Mirror coordinates in image_kernel's emission order; the expressions
-      // match image_kernel's mx/my arrays bit-for-bit.
-      const double mx0 = -s.x;
-      const double mx1 = 2.0 * pkg_w - s.x;
-      const double my0 = -s.y;
-      const double my1 = 2.0 * pkg_h - s.y;
-      const double xs[9] = {s.x, mx0, mx1, s.x, s.x, mx0, mx0, mx1, mx1};
-      const double ys[9] = {s.y, s.y, s.y, my0, my1, my0, my1, my0, my1};
-      src_x_.insert(src_x_.end(), xs, xs + 9);
-      src_y_.insert(src_y_.end(), ys, ys + 9);
+      k_.expand_source_point(s, xs, ys);
+      xs += k_.img;
+      ys += k_.img;
     }
   }
 }
 
 double SoaSnapshot::receiver_rise_uniform(std::size_t i) const {
   const std::size_t n_src = src_die_.size();
-  const std::size_t pts_per_src = ss_ * img_;
+  const std::size_t pts_per_src = k_.ss * k_.img;
   const std::size_t total = n_src * pts_per_src;
   const double* sx = src_x_.data();
   const double* sy = src_y_.data();
   int* idx = idx_.data();
   double* frac = frac_.data();
-  const double front = mutual_.front;
-  const double back = mutual_.back;
-  const double inv = mutual_.inv_step;
-  const double cap = coord_cap_;
-  const double* lut_img = lut_img_.data();
-  const double* lut_raw = lut_raw_.data();
-  const double floor = floor_;
+  const double front = k_.mutual.front;
+  const double back = k_.mutual.back;
+  const double inv = k_.mutual.inv_step;
+  const double cap = k_.coord_cap;
+  const double* lut_img = k_.lut_img.data();
+  const double* lut_raw = k_.lut_raw.data();
+  const double floor = k_.floor;
   const double self = self_rise_[i];
-  // Unit image weights (reflectivity 1.0, the adiabatic-rim default) take a
-  // multiply-free inner loop; w * decay with w == 1.0 is the identity, so
-  // both branches produce the same doubles.
-  const bool unit_weights = use_images_ && img_w_[1] == 1.0;
+  const bool use_images = k_.use_images;
+  const bool unit_weights = k_.unit_weights;
+  const std::size_t ss = k_.ss;
+  const std::size_t pc = k_.pc;
 
   double worst = 0.0;
-  for (std::size_t p = 0; p < pc_; ++p) {
-    const double px = probe_x_[i * pc_ + p];
-    const double py = probe_y_[i * pc_ + p];
+  for (std::size_t p = 0; p < pc; ++p) {
+    const double px = probe_x_[i * pc + p];
+    const double py = probe_y_[i * pc + p];
     // Pass 1 — distance to capped table coordinate to segment index +
     // fraction, one fused sweep: contiguous loads, no branches, no indexed
     // access. The whole loop auto-vectorizes, sqrt and the packed
@@ -196,8 +219,8 @@ double SoaSnapshot::receiver_rise_uniform(std::size_t i) const {
       const int* ix = idx + base;
       const double* fr = frac + base;
       double m = 0.0;
-      if (use_images_) {
-        for (std::size_t s = 0; s < ss_; ++s) {
+      if (use_images) {
+        for (std::size_t s = 0; s < ss; ++s) {
           double k = 0.0;
           if (unit_weights) {
             for (std::size_t t = 0; t < 9; ++t) {
@@ -207,14 +230,14 @@ double SoaSnapshot::receiver_rise_uniform(std::size_t i) const {
           } else {
             for (std::size_t t = 0; t < 9; ++t) {
               const double* seg = lut_img + 2 * ix[s * 9 + t];
-              k += img_w_[t] *
+              k += k_.img_w[t] *
                    std::max(seg[0] + fr[s * 9 + t] * seg[1], 0.0);
             }
           }
           m += floor + k;
         }
       } else {
-        for (std::size_t s = 0; s < ss_; ++s) {
+        for (std::size_t s = 0; s < ss; ++s) {
           const double* seg = lut_raw + 2 * ix[s];
           m += seg[0] + fr[s] * seg[1];
         }
@@ -223,29 +246,27 @@ double SoaSnapshot::receiver_rise_uniform(std::size_t i) const {
       m *= pair_corr_[a];
       mutual += m;
     }
-    worst = std::max(worst, self * shape_[i * pc_ + p] + mutual);
+    worst = std::max(worst, self * shape_[i * pc + p] + mutual);
   }
   return worst;
 }
 
 double SoaSnapshot::receiver_rise_uniform_simd(std::size_t i) const {
   const std::size_t n_src = src_die_.size();
-  const std::size_t pts_per_src = ss_ * img_;
+  const std::size_t pts_per_src = k_.ss * k_.img;
   const double* sx = src_x_.data();
   const double* sy = src_y_.data();
-  const double floor_per_src = static_cast<double>(ss_) * floor_;
+  const double floor_per_src = static_cast<double>(k_.ss) * k_.floor;
   const double self = self_rise_[i];
   const SoaKernelOps& ops = *ops_;
-  // Same unit-weight shortcut as the scalar kernel: reflectivity 1.0 makes
-  // every image weight exactly 1, so the weighted pass reduces to the plain
-  // clamped sum.
-  const bool unit_weights = use_images_ && img_w_[1] == 1.0;
+  const bool use_images = k_.use_images;
+  const std::size_t pc = k_.pc;
   double* sub = sub_.data();
 
   double worst = 0.0;
-  for (std::size_t p = 0; p < pc_; ++p) {
-    const double px = probe_x_[i * pc_ + p];
-    const double py = probe_y_[i * pc_ + p];
+  for (std::size_t p = 0; p < pc; ++p) {
+    const double px = probe_x_[i * pc + p];
+    const double py = probe_y_[i * pc + p];
     // One fused sweep per probe covers every source block: both conceptual
     // passes run in a single loop (the index/fraction intermediates of the
     // scalar kernel's two-pass form never round-trip through memory, which
@@ -254,18 +275,18 @@ double SoaSnapshot::receiver_rise_uniform_simd(std::size_t i) const {
     // Self-interaction blocks are computed too (their inputs are valid, the
     // result is discarded below) — that wastes 1/n_src of the sweep, far
     // less than a branchy kernel would cost.
-    if (!use_images_) {
-      ops.sweep_raw(sx, sy, px, py, mutual_.front, mutual_.back,
-                    mutual_.inv_step, coord_cap_, lut_raw_.data(), pts_per_src,
-                    n_src, sub);
-    } else if (unit_weights) {
-      ops.sweep_unit(sx, sy, px, py, mutual_.front, mutual_.back,
-                     mutual_.inv_step, coord_cap_, lut_img_.data(),
+    if (!use_images) {
+      ops.sweep_raw(sx, sy, px, py, k_.mutual.front, k_.mutual.back,
+                    k_.mutual.inv_step, k_.coord_cap, k_.lut_raw.data(),
+                    pts_per_src, n_src, sub);
+    } else if (k_.unit_weights) {
+      ops.sweep_unit(sx, sy, px, py, k_.mutual.front, k_.mutual.back,
+                     k_.mutual.inv_step, k_.coord_cap, k_.lut_img.data(),
                      pts_per_src, n_src, sub);
     } else {
-      ops.sweep_weighted(sx, sy, px, py, mutual_.front, mutual_.back,
-                         mutual_.inv_step, coord_cap_, lut_img_.data(),
-                         w_flat_.data(), pts_per_src, n_src, sub);
+      ops.sweep_weighted(sx, sy, px, py, k_.mutual.front, k_.mutual.back,
+                         k_.mutual.inv_step, k_.coord_cap, k_.lut_img.data(),
+                         k_.w_flat.data(), pts_per_src, n_src, sub);
     }
     // Sources combine in the scalar kernel's order (one subtotal per source,
     // scaled then summed ascending), so only the within-source lane order
@@ -273,31 +294,34 @@ double SoaSnapshot::receiver_rise_uniform_simd(std::size_t i) const {
     double mutual = 0.0;
     for (std::size_t a = 0; a < n_src; ++a) {
       if (src_die_[a] == i) continue;
-      double m = use_images_ ? floor_per_src + sub[a] : sub[a];
+      double m = use_images ? floor_per_src + sub[a] : sub[a];
       m *= src_scale_[a];
       m *= pair_corr_[a];
       mutual += m;
     }
-    worst = std::max(worst, self * shape_[i * pc_ + p] + mutual);
+    worst = std::max(worst, self * shape_[i * pc + p] + mutual);
   }
   return worst;
 }
 
 double SoaSnapshot::receiver_rise_exact(std::size_t i) const {
   const std::size_t n_src = src_die_.size();
-  const std::size_t pts_per_src = ss_ * img_;
+  const std::size_t pts_per_src = k_.ss * k_.img;
   const std::size_t total = n_src * pts_per_src;
   const double* sx = src_x_.data();
   const double* sy = src_y_.data();
   double* dist = coord_.data();
-  const MutualResistanceTable::View mt = mutual_;
-  const double floor = floor_;
+  const MutualResistanceTable::View mt = k_.mutual;
+  const double floor = k_.floor;
   const double self = self_rise_[i];
+  const bool use_images = k_.use_images;
+  const std::size_t ss = k_.ss;
+  const std::size_t pc = k_.pc;
 
   double worst = 0.0;
-  for (std::size_t p = 0; p < pc_; ++p) {
-    const double px = probe_x_[i * pc_ + p];
-    const double py = probe_y_[i * pc_ + p];
+  for (std::size_t p = 0; p < pc; ++p) {
+    const double px = probe_x_[i * pc + p];
+    const double py = probe_y_[i * pc + p];
     for (std::size_t k = 0; k < total; ++k) {
       dist[k] = kernel_distance(sx[k] - px, sy[k] - py);
     }
@@ -306,16 +330,16 @@ double SoaSnapshot::receiver_rise_exact(std::size_t i) const {
       if (src_die_[a] == i) continue;
       const double* d = dist + a * pts_per_src;
       double m = 0.0;
-      if (use_images_) {
-        for (std::size_t s = 0; s < ss_; ++s) {
+      if (use_images) {
+        for (std::size_t s = 0; s < ss; ++s) {
           double k = 0.0;
           for (std::size_t t = 0; t < 9; ++t) {
-            k += img_w_[t] * std::max(mt.lookup(d[s * 9 + t]) - floor, 0.0);
+            k += k_.img_w[t] * std::max(mt.lookup(d[s * 9 + t]) - floor, 0.0);
           }
           m += floor + k;
         }
       } else {
-        for (std::size_t s = 0; s < ss_; ++s) {
+        for (std::size_t s = 0; s < ss; ++s) {
           m += mt.lookup(d[s]);
         }
       }
@@ -323,23 +347,22 @@ double SoaSnapshot::receiver_rise_exact(std::size_t i) const {
       m *= pair_corr_[a];
       mutual += m;
     }
-    worst = std::max(worst, self * shape_[i * pc_ + p] + mutual);
+    worst = std::max(worst, self * shape_[i * pc + p] + mutual);
   }
   return worst;
 }
 
 void SoaSnapshot::evaluate(FastThermalResult& out) const {
   if (!bound()) throw std::logic_error("SoaSnapshot: evaluate while unbound");
-  out.chiplet_temp_c.assign(n_, ambient_c_);
+  out.chiplet_temp_c.assign(n_, k_.ambient_c);
   out.eval_seconds = 0.0;
 
   const std::size_t n_src = src_die_.size();
-  coord_.resize(n_src * ss_ * img_);
-  idx_.resize(n_src * ss_ * img_);
-  frac_.resize(n_src * ss_ * img_);
+  coord_.resize(n_src * k_.ss * k_.img);
+  idx_.resize(n_src * k_.ss * k_.img);
+  frac_.resize(n_src * k_.ss * k_.img);
   pair_corr_.resize(n_src);
   sub_.resize(n_src);
-  const bool uniform = mutual_.inv_step > 0.0 && mutual_.size >= 2;
 
   for (std::size_t i = 0; i < n_; ++i) {
     if (!placed_[i]) continue;
@@ -348,15 +371,16 @@ void SoaSnapshot::evaluate(FastThermalResult& out) const {
     // (probe, source) is probe-independent, and multiplying by the same
     // double later yields the same product.
     for (std::size_t a = 0; a < n_src; ++a) {
-      pair_corr_[a] = correct_pairs_ ? std::sqrt(src_corr_[a] * c_dst) : 1.0;
+      pair_corr_[a] =
+          k_.correct_pairs ? std::sqrt(src_corr_[a] * c_dst) : 1.0;
     }
-    const double rise = !uniform            ? receiver_rise_exact(i)
-                        : ops_ != nullptr   ? receiver_rise_uniform_simd(i)
-                                            : receiver_rise_uniform(i);
-    out.chiplet_temp_c[i] = ambient_c_ + rise;
+    const double rise = !k_.uniform          ? receiver_rise_exact(i)
+                        : ops_ != nullptr    ? receiver_rise_uniform_simd(i)
+                                             : receiver_rise_uniform(i);
+    out.chiplet_temp_c[i] = k_.ambient_c + rise;
   }
 
-  out.max_temp_c = ambient_c_;
+  out.max_temp_c = k_.ambient_c;
   for (double t : out.chiplet_temp_c) {
     out.max_temp_c = std::max(out.max_temp_c, t);
   }

@@ -75,6 +75,49 @@ inline std::pair<std::size_t, std::size_t> batch_lane_range(std::size_t b,
   return {lo, c < lanes ? lo + quotient + (c < remainder ? 1 : 0) : lo};
 }
 
+/// Bind-time model constants shared by every SoA kernel consumer —
+/// SoaSnapshot's batch sweeps and IncrementalThermalState's pair-row path:
+/// image weights, the interleaved (base, diff) interpolation LUTs, the
+/// capped coordinate transform, and the flat per-point weight vector. Built
+/// once per model; everything here is placement-independent.
+struct SoaModelConsts {
+  std::size_t pc = 0;          ///< receiver probes per die
+  std::size_t ss = 1;          ///< sub-sources per die
+  std::size_t img = 1;         ///< image points per sub-source (9 or 1)
+  bool use_images = false;
+  bool unit_weights = false;   ///< use_images with reflectivity exactly 1.0
+  bool correct_pairs = false;  ///< correct_mutual with a table installed
+  bool uniform = false;        ///< uniform-step mutual table (the production
+                               ///< case; guaranteed after model resampling)
+  double floor = 0.0;          ///< uniform rise floor (K/W)
+  double ambient_c = 0.0;
+  double pkg_w = 0.0;          ///< package extents, for the image mirrors
+  double pkg_h = 0.0;
+  double img_w[9] = {1.0};     ///< per-image weights (direct, sides, corners)
+  /// img_w tiled ss times: the flat per-point weight vector the SIMD
+  /// weighted passes consume (empty when images are off).
+  std::vector<double> w_flat;
+  MutualResistanceTable::View mutual{};
+  // Uniform-table interpolation LUTs, interleaved as (base, diff) pairs per
+  // segment so one lookup touches one cache line: base is the value at the
+  // left knot (with the decay floor pre-subtracted in the images variant),
+  // diff the value change across the segment.
+  std::vector<double> lut_img;  // {values[i] - floor, values[i+1]-values[i]}
+  std::vector<double> lut_raw;  // {values[i], values[i+1]-values[i]}
+  double coord_cap = 0.0;  ///< largest table coordinate (just under nk-1)
+
+  /// Binds to `model` (which must outlive any use of the views). Throws
+  /// std::invalid_argument when the model is empty or its mutual table has
+  /// fewer than 2 knots.
+  void bind(const FastThermalModel& model);
+
+  /// Expands one sub-source into its `img` coordinate pairs (xs/ys) in
+  /// FastThermalModel::image_kernel()'s emission order — the mirror
+  /// expressions match image_kernel's mx/my arrays bit-for-bit. Without
+  /// images this writes the point itself.
+  void expand_source_point(const Point& s, double* xs, double* ys) const;
+};
+
 class SoaSnapshot {
  public:
   SoaSnapshot() = default;
@@ -124,26 +167,8 @@ class SoaSnapshot {
   const ChipletSystem* system_ = nullptr;
 
   // Bind-time constants.
-  std::size_t n_ = 0;        ///< chiplets in the system
-  std::size_t pc_ = 0;       ///< receiver probes per die
-  std::size_t ss_ = 0;       ///< sub-sources per die
-  std::size_t img_ = 1;      ///< image points per sub-source (9 or 1)
-  bool use_images_ = false;
-  bool correct_pairs_ = false;  ///< correct_mutual with a table installed
-  double floor_ = 0.0;          ///< uniform rise floor (K/W)
-  double ambient_c_ = 0.0;
-  double img_w_[9] = {1.0};  ///< per-image weights (direct, sides, corners)
-  /// img_w_ tiled ss_ times: the flat per-point weight vector the SIMD
-  /// weighted-accumulation pass consumes (empty when images are off).
-  std::vector<double> w_flat_;
-  MutualResistanceTable::View mutual_{};
-  // Uniform-table interpolation LUTs, interleaved as (base, diff) pairs per
-  // segment so one lookup touches one cache line: base is the value at the
-  // left knot (with the decay floor pre-subtracted in the images variant),
-  // diff the value change across the segment.
-  std::vector<double> lut_img_;  // {values[i] - floor, values[i+1]-values[i]}
-  std::vector<double> lut_raw_;  // {values[i], values[i+1]-values[i]}
-  double coord_cap_ = 0.0;  ///< largest table coordinate (just under nk-1)
+  std::size_t n_ = 0;   ///< chiplets in the system
+  SoaModelConsts k_{};  ///< shared model constants (LUTs, weights, cap)
 
   // Per-die state, refreshed per floorplan.
   std::vector<std::uint8_t> placed_;  // n

@@ -2,6 +2,13 @@
 // place/move/remove/undo/commit sequences must match batch
 // FastThermalModel::evaluate() on every chiplet temperature, across the
 // FastModelConfig variants (images on/off, position correction, droop).
+//
+// Two differential axes, one per execution tier (thermal/incremental.h):
+// the forced-scalar state must be BIT-EXACT against batch (EXPECT_EQ on
+// every double), and a dispatched state with the journaled partial-sum
+// query forced on — so the patching machinery exercises even on
+// scalar-only hosts — must stay within the repo-wide 1e-9 C envelope of
+// the forced-scalar state after every mutation.
 #include "thermal/incremental.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +24,7 @@
 #include "systems/synthetic.h"
 #include "thermal/evaluator.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace rlplan::thermal {
 namespace {
@@ -121,19 +129,48 @@ Placement random_placement(const ChipletSystem& sys, std::size_t i, Rng& rng) {
 void expect_state_matches_batch(const IncrementalThermalState& state,
                                 const FastThermalModel& model,
                                 const ChipletSystem& sys, const Floorplan& fp,
-                                const char* context) {
+                                const char* context, bool exact = false) {
   const auto batch = model.evaluate(sys, fp);
   std::vector<double> temps;
   state.temperatures(temps);
   ASSERT_EQ(temps.size(), batch.chiplet_temp_c.size());
   for (std::size_t i = 0; i < temps.size(); ++i) {
-    ASSERT_NEAR(temps[i], batch.chiplet_temp_c[i], 1e-9)
-        << context << ": chiplet " << i;
+    if (exact) {
+      ASSERT_EQ(temps[i], batch.chiplet_temp_c[i])
+          << context << ": chiplet " << i;
+    } else {
+      ASSERT_NEAR(temps[i], batch.chiplet_temp_c[i], 1e-9)
+          << context << ": chiplet " << i;
+    }
   }
-  ASSERT_NEAR(state.max_temperature_c(), batch.max_temp_c, 1e-9) << context;
+  if (exact) {
+    ASSERT_EQ(state.max_temperature_c(), batch.max_temp_c) << context;
+  } else {
+    ASSERT_NEAR(state.max_temperature_c(), batch.max_temp_c, 1e-9) << context;
+  }
+}
+
+/// The dispatched-tier contract: within 1e-9 C of the forced-scalar state
+/// holding the identical placement, on every chiplet and the peak.
+void expect_states_agree(const IncrementalThermalState& dispatched,
+                         const IncrementalThermalState& scalar,
+                         const char* context) {
+  std::vector<double> a, b;
+  dispatched.temperatures(a);
+  scalar.temperatures(b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-9) << context << ": chiplet " << i;
+  }
+  ASSERT_NEAR(dispatched.max_temperature_c(), scalar.max_temperature_c(), 1e-9)
+      << context;
 }
 
 // The acceptance bar: >= 1000 random mutation sequences across all variants.
+// Two states ride the identical op stream: the forced-scalar one is checked
+// BIT-EXACT against the batch evaluator, the default-dispatch one (with the
+// journaled partial-sum query forced on, so the patching machinery runs even
+// where dispatch collapses to scalar) within 1e-9 C of the scalar state.
 TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
   const auto vs = variants();
   const int scale = fuzz_scale();
@@ -149,6 +186,9 @@ TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
       const ChipletSystem sys = random_system(seq_rng);
       const std::size_t n = sys.num_chiplets();
       IncrementalThermalState state(model, sys);
+      state.set_simd_level(util::SimdLevel::kScalar);
+      IncrementalThermalState dispatched(model, sys);
+      dispatched.set_patched_query(true);
       Floorplan fp(sys);             // mirrors the state's placement
       Floorplan committed_fp(sys);   // snapshot at the last commit()
       const int ops =
@@ -159,18 +199,24 @@ TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
         if (u < 0.45) {  // place or move
           const Placement p = random_placement(sys, die, seq_rng);
           state.place(die, p);
+          dispatched.place(die, p);
           fp.place(die, p.position, p.rotated);
         } else if (u < 0.65) {  // remove
           state.remove(die);
+          dispatched.remove(die);
           fp.unplace(die);
         } else if (u < 0.8) {  // undo to the last commit
           state.undo();
+          dispatched.undo();
           fp = committed_fp;
         } else {  // commit
           state.commit();
+          dispatched.commit();
           committed_fp = fp;
         }
-        expect_state_matches_batch(state, model, sys, fp, v.name);
+        expect_state_matches_batch(state, model, sys, fp, v.name,
+                                   /*exact=*/true);
+        expect_states_agree(dispatched, state, v.name);
         if (::testing::Test::HasFatalFailure()) {
           report_failure_seed(std::string("variant=") + v.name +
                               " sequence_seed=" + std::to_string(seq_seed) +
@@ -183,25 +229,94 @@ TEST(IncrementalThermal, FuzzedMutationSequencesMatchBatch) {
   EXPECT_GE(sequences, 1000 * scale);
 }
 
-// Tight agreement on a hand-checkable case: the incremental query sums the
-// identical pairwise doubles the batch evaluator sums, in the same order.
+// Tight agreement on a hand-checkable case: the forced-scalar query sums the
+// identical pairwise doubles the batch evaluator sums, in the same order, so
+// the agreement is exact — not just close. The default-dispatch state (which
+// may run SIMD pair-row kernels and the patched-sum query) stays inside the
+// 1e-9 C envelope on the same placement.
 TEST(IncrementalThermal, ExactAgreementOnDenseSystem) {
   const FastThermalModel model = make_model(FastModelConfig{}, false, true);
   Rng rng(7);
   const ChipletSystem sys = random_system(rng, 6, 6);
   Floorplan fp(sys);
   IncrementalThermalState state(model, sys);
+  state.set_simd_level(util::SimdLevel::kScalar);
+  IncrementalThermalState dispatched(model, sys);
   for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
     const Placement p = random_placement(sys, i, rng);
     state.place(i, p);
+    dispatched.place(i, p);
     fp.place(i, p.position, p.rotated);
   }
   const auto batch = model.evaluate(sys, fp);
   for (std::size_t i = 0; i < sys.num_chiplets(); ++i) {
-    EXPECT_NEAR(state.chiplet_temperature_c(i), batch.chiplet_temp_c[i],
-                1e-12);
+    EXPECT_EQ(state.chiplet_temperature_c(i), batch.chiplet_temp_c[i]);
+    EXPECT_NEAR(dispatched.chiplet_temperature_c(i), batch.chiplet_temp_c[i],
+                1e-9);
   }
-  EXPECT_NEAR(state.max_temperature_c(), batch.max_temp_c, 1e-12);
+  EXPECT_EQ(state.max_temperature_c(), batch.max_temp_c);
+  EXPECT_NEAR(dispatched.max_temperature_c(), batch.max_temp_c, 1e-9);
+}
+
+// The journaled partial sums behind the patched query: rollback restores the
+// snapshot verbatim, so a query after undo() reproduces the pre-mutation
+// temperatures BIT-EXACTLY — not merely within tolerance — and a long
+// committed move stream crosses the kResumInterval re-reduction boundary
+// without drifting outside the envelope.
+TEST(IncrementalThermal, JournaledSumsCommitRollbackBitExact) {
+  const FastThermalModel model = make_model(FastModelConfig{}, false, true);
+  Rng rng(0x9e37ULL);
+  const ChipletSystem sys = random_system(rng, 6, 6);
+  const std::size_t n = sys.num_chiplets();
+  Floorplan fp(sys);
+  IncrementalThermalState state(model, sys);
+  state.set_patched_query(true);  // exercise the sum machinery on any host
+  for (std::size_t i = 0; i < n; ++i) {
+    const Placement p = random_placement(sys, i, rng);
+    state.place(i, p);
+    fp.place(i, p.position, p.rotated);
+  }
+  std::vector<double> before;
+  state.temperatures(before);  // materializes the partial sums
+  const double max_before = state.max_temperature_c();
+  EXPECT_GE(state.sum_resums(), 1);
+  state.commit();
+
+  // Rejected-move rounds: mutate (patching the sums), query, roll back; the
+  // journal must restore the exact pre-move answer every time.
+  for (int round = 0; round < 24; ++round) {
+    const std::size_t die = rng.uniform_int(std::uint64_t{n});
+    if (round % 4 == 3) {
+      state.remove(die);
+    } else {
+      state.place(die, random_placement(sys, die, rng));
+    }
+    (void)state.max_temperature_c();  // query the mutated state
+    state.undo();
+    std::vector<double> after;
+    state.temperatures(after);
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(after[i], before[i]) << "round " << round << " chiplet " << i;
+    }
+    ASSERT_EQ(state.max_temperature_c(), max_before) << "round " << round;
+  }
+  EXPECT_GT(state.sum_patches(), 0);
+
+  // Accepted-move stream long enough to force at least one periodic full
+  // re-reduction; every step must still match the batch evaluator.
+  const long resums_before =
+      state.sum_resums();
+  for (int move = 0; move < IncrementalThermalState::kResumInterval + 8;
+       ++move) {
+    const std::size_t die = rng.uniform_int(std::uint64_t{n});
+    const Placement p = random_placement(sys, die, rng);
+    state.place(die, p);
+    fp.place(die, p.position, p.rotated);
+    state.commit();
+    expect_state_matches_batch(state, model, sys, fp, "committed-stream");
+  }
+  EXPECT_GT(state.sum_resums(), resums_before);
 }
 
 TEST(IncrementalThermal, RemoveAndUndoCostNoKernelWork) {

@@ -3,10 +3,13 @@
 // every FastModelConfig variant, the batched SoA evaluator must agree with
 // legacy FastThermalModel::evaluate() and IncrementalThermalState.
 //
-// Numerical contract under test (documented in soa_snapshot.h):
-//  * legacy evaluate() vs IncrementalThermalState — BIT-EXACT. The
-//    incremental cache stores the very doubles evaluate() sums, in the same
-//    order.
+// Numerical contract under test (documented in soa_snapshot.h and
+// incremental.h):
+//  * legacy evaluate() vs forced-scalar IncrementalThermalState — BIT-EXACT.
+//    The incremental cache stores the very doubles evaluate() sums, in the
+//    same order.
+//  * dispatched IncrementalThermalState (pair-row kernels + patched sums) vs
+//    legacy — within kTempTolC, like the batch SoA kernels.
 //  * SoA kernel vs legacy — within kTempTolC (1e-9 C, the repo-wide
 //    equivalence bar). The SoA pass keeps evaluate()'s accumulation order
 //    (so error does not grow with die count) but interpolates uniform mutual
@@ -158,16 +161,23 @@ Floorplan random_floorplan(const ChipletSystem& sys, Rng& rng) {
   return fp;
 }
 
-/// One differential case: legacy vs incremental (bit-exact) vs SoA snapshot
-/// (kTempTolC). Returns false on any mismatch.
+/// One differential case: legacy vs forced-scalar incremental (bit-exact)
+/// vs dispatched incremental (kTempTolC) vs SoA snapshot (kTempTolC).
+/// Returns false on any mismatch.
 bool check_case(const FastThermalModel& model, const ChipletSystem& sys,
                 const Floorplan& fp, SoaSnapshot& snapshot,
-                IncrementalThermalState& incr, const std::string& context) {
+                IncrementalThermalState& incr,
+                IncrementalThermalState& incr_simd,
+                const std::string& context) {
   const FastThermalResult legacy = model.evaluate(sys, fp);
 
   incr.sync(fp);
   std::vector<double> incr_temps;
   incr.temperatures(incr_temps);
+
+  incr_simd.sync(fp);
+  std::vector<double> simd_temps;
+  incr_simd.temperatures(simd_temps);
 
   snapshot.refresh(fp);
   FastThermalResult soa;
@@ -176,10 +186,18 @@ bool check_case(const FastThermalModel& model, const ChipletSystem& sys,
   bool ok = true;
   EXPECT_EQ(legacy.chiplet_temp_c.size(), soa.chiplet_temp_c.size());
   for (std::size_t i = 0; i < legacy.chiplet_temp_c.size(); ++i) {
-    // Incremental caches the very doubles evaluate() sums: exact.
+    // Forced-scalar incremental caches the very doubles evaluate() sums:
+    // exact.
     EXPECT_EQ(incr_temps[i], legacy.chiplet_temp_c[i])
         << context << ": incremental chiplet " << i;
     ok = ok && incr_temps[i] == legacy.chiplet_temp_c[i];
+    // Dispatched incremental: pair-row kernels + patched partial sums,
+    // documented tolerance (scalar-vs-scalar identity on hosts without
+    // SIMD kernels).
+    EXPECT_NEAR(simd_temps[i], legacy.chiplet_temp_c[i], kTempTolC)
+        << context << ": dispatched incremental chiplet " << i;
+    ok = ok &&
+         std::abs(simd_temps[i] - legacy.chiplet_temp_c[i]) <= kTempTolC;
     // SoA: fraction-form interpolation, documented tolerance.
     EXPECT_NEAR(soa.chiplet_temp_c[i], legacy.chiplet_temp_c[i], kTempTolC)
         << context << ": SoA chiplet " << i;
@@ -188,8 +206,12 @@ bool check_case(const FastThermalModel& model, const ChipletSystem& sys,
              kTempTolC;
   }
   EXPECT_EQ(incr.max_temperature_c(), legacy.max_temp_c) << context;
+  EXPECT_NEAR(incr_simd.max_temperature_c(), legacy.max_temp_c, kTempTolC)
+      << context;
   EXPECT_NEAR(soa.max_temp_c, legacy.max_temp_c, kTempTolC) << context;
   ok = ok && incr.max_temperature_c() == legacy.max_temp_c &&
+       std::abs(incr_simd.max_temperature_c() - legacy.max_temp_c) <=
+           kTempTolC &&
        std::abs(soa.max_temp_c - legacy.max_temp_c) <= kTempTolC;
   if (!ok) report_failure_seed(context);
   return ok;
@@ -210,14 +232,19 @@ TEST(SoaKernel, FuzzedSystemsMatchLegacyAndIncremental) {
       Rng sys_rng(sys_seed);
       const ChipletSystem sys = random_system(sys_rng);
       SoaSnapshot snapshot(model, sys);
+      // The bit-exact axis runs the exact scalar tier; a second state keeps
+      // the default dispatch (pair-row kernels + patched-sum query on hosts
+      // with SIMD) for the 1e-9 axis.
       IncrementalThermalState incr(model, sys);
+      incr.set_simd_level(util::SimdLevel::kScalar);
+      IncrementalThermalState incr_simd(model, sys);
       for (int f = 0; f < 3; ++f, ++cases) {
         const Floorplan fp = random_floorplan(sys, sys_rng);
         const std::string context = std::string("variant=") + v.name +
                                     " system_seed=" +
                                     std::to_string(sys_seed) +
                                     " floorplan_index=" + std::to_string(f);
-        if (!check_case(model, sys, fp, snapshot, incr, context)) {
+        if (!check_case(model, sys, fp, snapshot, incr, incr_simd, context)) {
           return;  // the seed is reported; stop before flooding the log
         }
       }
